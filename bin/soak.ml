@@ -1,0 +1,141 @@
+(* Randomized soak campaign: hammer every crash-safe lock in the registry
+   with random schedules, crash storms and memory models, and run the full
+   checker battery over the recorded histories.  Exit status 0 iff no
+   violation was found.
+
+     dune exec bin/soak.exe -- --runs 200 --seed 0
+     dune exec bin/soak.exe -- --lock ba-jjj --runs 1000 *)
+
+open Cmdliner
+open Rme_sim
+
+type failure = { lock : string; seed : int; what : string }
+
+let run_one ~spec ~seed =
+  let rng = Random.State.make [| seed; 0x50a6 |] in
+  let n = 2 + Random.State.int rng 7 in
+  let requests = 2 + Random.State.int rng 5 in
+  let model = if Random.State.bool rng then Memory.CC else Memory.DSM in
+  let scenario =
+    match Random.State.int rng 4 with
+    | 0 -> Rme.Workload.No_failures
+    | 1 -> Rme.Workload.Fas_storm { f = 1 + Random.State.int rng 8; rate = 0.4 }
+    | 2 -> Rme.Workload.Random_storm { crashes = 1 + Random.State.int rng n; rate = 0.008 }
+    | _ ->
+        Rme.Workload.Batch
+          { size = 1 + Random.State.int rng n; at_step = 100; repeat = 1; gap = 0 }
+  in
+  let cfg =
+    {
+      Rme.Workload.n;
+      requests;
+      model;
+      seed;
+      scenario;
+      record = true;
+      cs_yields = Random.State.int rng 6;
+      ncs_yields = Random.State.int rng 3;
+      max_steps = 3_000_000;
+    }
+  in
+  let res = Rme.Workload.run spec cfg in
+  let weak_lock_ids =
+    (* By construction every registered weakly recoverable lock registers
+       itself first, so its lock id is 0. *)
+    if spec.Rme.Spec.expectation.Rme.Spec.recoverability = `Weak then [ 0 ] else []
+  in
+  let problems = Rme.Check.Props.check_battery res ~requests ~weak_lock_ids in
+  (problems, Fmt.str "n=%d req=%d %a %a" n requests Memory.pp_model model
+               Rme.Workload.pp_scenario scenario)
+
+let repro key seed =
+  let spec = Rme.Spec.find_exn key in
+  let problems, descr = run_one ~spec ~seed in
+  Fmt.pr "repro %s seed=%d: %s@." key seed descr;
+  (* Re-run with the same derived configuration, printing the timeline. *)
+  let rng = Random.State.make [| seed; 0x50a6 |] in
+  let n = 2 + Random.State.int rng 7 in
+  let requests = 2 + Random.State.int rng 5 in
+  let model = if Random.State.bool rng then Memory.CC else Memory.DSM in
+  let scenario =
+    match Random.State.int rng 4 with
+    | 0 -> Rme.Workload.No_failures
+    | 1 -> Rme.Workload.Fas_storm { f = 1 + Random.State.int rng 8; rate = 0.4 }
+    | 2 -> Rme.Workload.Random_storm { crashes = 1 + Random.State.int rng n; rate = 0.008 }
+    | _ ->
+        Rme.Workload.Batch
+          { size = 1 + Random.State.int rng n; at_step = 100; repeat = 1; gap = 0 }
+  in
+  let cfg =
+    {
+      Rme.Workload.n;
+      requests;
+      model;
+      seed;
+      scenario;
+      record = true;
+      cs_yields = Random.State.int rng 6;
+      ncs_yields = Random.State.int rng 3;
+      max_steps = 3_000_000;
+    }
+  in
+  let res = Rme.Workload.run spec cfg in
+  Fmt.pr "%a@." (Rme_check.Timeline.pp ?width:None) res;
+  List.iter (Fmt.pr "VIOLATION: %s@.") problems;
+  if problems = [] then 0 else 1
+
+let soak lock runs seed_base verbose =
+  let specs =
+    match lock with
+    | Some key -> [ Rme.Spec.find_exn key ]
+    | None -> List.filter (fun (s : Rme.Spec.t) -> s.crash_safe) Rme.Spec.all
+  in
+  let failures = ref [] in
+  let total = ref 0 in
+  List.iter
+    (fun (spec : Rme.Spec.t) ->
+      for i = 0 to runs - 1 do
+        incr total;
+        let seed = seed_base + i in
+        let problems, descr = run_one ~spec ~seed in
+        if verbose then Fmt.pr "%-16s seed=%-6d %s %s@." spec.key seed descr
+            (if problems = [] then "ok" else "FAIL");
+        List.iter
+          (fun what -> failures := { lock = spec.key; seed; what } :: !failures)
+          problems
+      done;
+      Fmt.pr "%-16s %d runs done@." spec.Rme.Spec.key runs)
+    specs;
+  if !failures = [] then begin
+    Fmt.pr "@.soak clean: %d runs, 0 violations@." !total;
+    0
+  end
+  else begin
+    Fmt.pr "@.%d VIOLATIONS in %d runs:@." (List.length !failures) !total;
+    List.iter (fun f -> Fmt.pr "  %s seed=%d: %s@." f.lock f.seed f.what) !failures;
+    1
+  end
+
+let () =
+  let lock =
+    Arg.(value & opt (some string) None & info [ "l"; "lock" ] ~docv:"LOCK" ~doc:"Only this lock.")
+  in
+  let runs = Arg.(value & opt int 50 & info [ "runs" ] ~docv:"N" ~doc:"Runs per lock.") in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Base seed.") in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-run output.") in
+  let repro_arg =
+    Arg.(
+      value
+      & opt (some (pair ~sep:':' string int)) None
+      & info [ "repro" ] ~docv:"LOCK:SEED"
+          ~doc:"Reproduce one soak case verbosely (prints the timeline) and exit.")
+  in
+  let main lock runs seed verbose repro_case =
+    match repro_case with Some (key, s) -> repro key s | None -> soak lock runs seed verbose
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "soak" ~doc:"Randomized soak/fuzz campaign over the lock registry.")
+      Term.(const main $ lock $ runs $ seed $ verbose $ repro_arg)
+  in
+  exit (Cmd.eval' cmd)

@@ -1,0 +1,94 @@
+open Rme_sim
+
+type outcome = { runs : int; exhausted : bool; violation : (string * int list) option }
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "runs=%d exhausted=%b%a" o.runs o.exhausted
+    (Fmt.option (fun ppf (msg, tr) ->
+         Fmt.pf ppf " VIOLATION %s at %a" msg Fmt.(Dump.list int) tr))
+    o.violation
+
+(* Greedy minimisation of a violating decision vector: zero out decisions
+   and truncate, keeping every change that still reproduces a violation.
+   Zero is the canonical "lowest-pid" choice, so a minimised trace reads as
+   "follow the default schedule except at these points". *)
+let shrink ~reproduces trace =
+  let still_fails t = reproduces t in
+  (* Drop trailing zeros (implied by the default path). *)
+  let rec rstrip = function 0 :: rest -> rstrip rest | t -> t in
+  let canon t = List.rev (rstrip (List.rev t)) in
+  let zero_pass t =
+    let arr = Array.of_list t in
+    let changed = ref false in
+    for i = Array.length arr - 1 downto 0 do
+      if arr.(i) <> 0 then begin
+        let old = arr.(i) in
+        arr.(i) <- 0;
+        if still_fails (canon (Array.to_list arr)) then changed := true else arr.(i) <- old
+      end
+    done;
+    (canon (Array.to_list arr), !changed)
+  in
+  let rec fix t =
+    let t', changed = zero_pass t in
+    if changed then fix t' else t'
+  in
+  let t = canon trace in
+  if still_fails t then fix t else trace
+
+let explore ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = true) ~n ~model
+    ~crash ~setup ~body ~check () =
+  let runs = ref 0 in
+  let violation = ref None in
+  let truncated = ref false in
+  (* Depth-first over decision vectors.  Each run returns the branching
+     degree observed at every decision point; children of a prefix [p] are
+     p with its next positions set to 1 .. degree-1 (0 is the default path,
+     covered by [p] itself). *)
+  let rec go (prefix : int list) =
+    if !violation = None then begin
+      if !runs >= max_runs then truncated := true
+      else begin
+        incr runs;
+        let decisions = Vec.of_list prefix in
+        let record = Vec.create () in
+        let sched = Sched.trace ~decisions ~record in
+        let res = Engine.run ~max_steps ~n ~model ~sched ~crash:(crash ()) ~setup ~body () in
+        (match check res with
+        | Some msg -> violation := Some (msg, prefix)
+        | None -> ());
+        (* Explore siblings at every decision point beyond the prefix. *)
+        let depth = List.length prefix in
+        let branches = Vec.to_array record in
+        let len = Array.length branches in
+        let i = ref depth in
+        while !violation = None && !i < len do
+          let degree = branches.(!i) in
+          (* The prefix for position !i follows the default (0) path up to
+             it; positions depth..!i-1 chose 0. *)
+          if degree > 1 then begin
+            let pad = List.init (!i - depth) (fun _ -> 0) in
+            for c = 1 to degree - 1 do
+              if !violation = None then go (prefix @ pad @ [ c ])
+            done
+          end;
+          incr i
+        done
+      end
+    end
+  in
+  go [];
+  let violation =
+    match !violation with
+    | Some (msg, trace) when shrink_violations ->
+        let reproduces t =
+          let decisions = Vec.of_list t in
+          let record = Vec.create () in
+          let sched = Sched.trace ~decisions ~record in
+          let res = Engine.run ~max_steps ~n ~model ~sched ~crash:(crash ()) ~setup ~body () in
+          check res <> None
+        in
+        Some (msg, shrink ~reproduces trace)
+    | v -> v
+  in
+  { runs = !runs; exhausted = not !truncated; violation }

@@ -1,0 +1,44 @@
+(** Bounded exhaustive schedule exploration (a small stateless model
+    checker).
+
+    Replays the simulation under every interleaving reachable within the
+    configured bounds, using the trace scheduler: a run is identified by its
+    decision vector (which runnable process steps at each point); after each
+    run, the recorded branching degrees spawn the sibling decision vectors.
+    With small [n] and request counts this enumerates the complete schedule
+    tree and checks a property on every run — exhaustive verification of
+    mutual exclusion for the splitter, arbitrator and WR-Lock components,
+    optionally under a crash plan. *)
+
+open Rme_sim
+
+type outcome = {
+  runs : int;  (** schedules executed *)
+  exhausted : bool;  (** [true] when the whole tree fit in [max_runs] *)
+  violation : (string * int list) option;
+      (** first failing run: message and its decision vector *)
+}
+
+val pp_outcome : outcome Fmt.t
+
+val shrink : reproduces:(int list -> bool) -> int list -> int list
+(** Greedily minimise a violating decision vector: zero decisions and strip
+    the implied default suffix while [reproduces] keeps returning [true].
+    Returns the input unchanged when it does not reproduce. *)
+
+val explore :
+  ?max_runs:int ->
+  ?max_steps:int ->
+  ?shrink_violations:bool ->
+  n:int ->
+  model:Memory.model ->
+  crash:(unit -> Crash.t) ->
+  setup:(Engine.Ctx.t -> 'a) ->
+  body:('a -> pid:int -> unit) ->
+  check:(Engine.result -> string option) ->
+  unit ->
+  outcome
+(** [crash] builds a fresh (stateful) plan per run.  [check] returns [Some
+    msg] on a property violation; exploration stops at the first one and,
+    with [shrink_violations] (default true), minimises its decision vector
+    before reporting. *)

@@ -1,0 +1,260 @@
+open Rme_sim
+
+let mutual_exclusion (res : Engine.result) =
+  if res.Engine.cs_max <= 1 then None
+  else Some (Printf.sprintf "mutual exclusion violated: %d processes in CS" res.Engine.cs_max)
+
+let lock_mutual_exclusion (res : Engine.result) ~lock_id =
+  let s = res.Engine.locks.(lock_id) in
+  if s.Engine.max_occupancy <= 1 then None
+  else
+    Some
+      (Printf.sprintf "lock %s held by %d processes simultaneously" s.Engine.lock_name
+         s.Engine.max_occupancy)
+
+let starvation_freedom (res : Engine.result) ~requests =
+  if res.Engine.deadlocked then Some "deadlock"
+  else if res.Engine.timed_out then Some "timed out (possible livelock)"
+  else
+    let bad = ref None in
+    Array.iteri
+      (fun pid (p : Engine.proc_stats) ->
+        if !bad = None && p.completed < requests then
+          bad := Some (Printf.sprintf "p%d starved: %d/%d requests" pid p.completed requests))
+      res.Engine.procs;
+    !bad
+
+let responsiveness (res : Engine.result) ~lock_id =
+  let s = res.Engine.locks.(lock_id) in
+  if s.Engine.max_occupancy <= 1 + s.Engine.unsafe_crashes then None
+  else
+    Some
+      (Printf.sprintf "%s: occupancy %d with only %d unsafe failures" s.Engine.lock_name
+         s.Engine.max_occupancy s.Engine.unsafe_crashes)
+
+(* Interval form of Theorem 4.2.  Replays the event log tracking, per
+   moment: the lock's holder count, the set of in-flight super-passages, and
+   the still-active unsafe failures (consequence interval = until every
+   super-passage pending at the failure is satisfied). *)
+let weak_me_intervals (res : Engine.result) ~lock_id =
+  let holders = Hashtbl.create 8 in
+  (* pid -> super currently in flight (outstanding request) *)
+  let outstanding : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  (* active unsafe failures: list of pending-sets, each a (pid, super) list *)
+  let active : (int * int) list ref list ref = ref [] in
+  let violation = ref None in
+  let prune () =
+    active :=
+      List.filter
+        (fun pending ->
+          pending :=
+            List.filter
+              (fun (pid, super) ->
+                match Hashtbl.find_opt outstanding pid with
+                | Some s -> s = super
+                | None -> false)
+              !pending;
+          !pending <> [])
+        !active
+  in
+  List.iter
+    (fun ev ->
+      if !violation = None then
+        match ev with
+        | Event.Note { pid; super; note = Event.Seg Event.Req_begin; _ } ->
+            if not (Hashtbl.mem outstanding pid) then Hashtbl.replace outstanding pid super
+        | Event.Note { pid; note = Event.Seg Event.Req_done; _ } ->
+            Hashtbl.remove outstanding pid;
+            prune ()
+        | Event.Note { pid; step; note = Event.Lock_acquired id; _ } when id = lock_id ->
+            Hashtbl.replace holders pid ();
+            let k = Hashtbl.length holders in
+            prune ();
+            let live = List.length !active in
+            if k > 1 + live then
+              violation :=
+                Some
+                  (Printf.sprintf
+                     "step %d: %d holders with only %d active unsafe failures" step k live)
+        | Event.Note { pid; note = Event.Lock_release id; _ } when id = lock_id ->
+            Hashtbl.remove holders pid
+        | Event.Crash { pid; unsafe_wrt; holding; _ } ->
+            if List.mem lock_id holding then Hashtbl.remove holders pid;
+            if List.mem lock_id unsafe_wrt then begin
+              let pending =
+                Hashtbl.fold (fun p s acc -> (p, s) :: acc) outstanding []
+              in
+              active := ref pending :: !active
+            end
+        | Event.Note _ | Event.Op _ -> ())
+    res.Engine.events;
+  !violation
+
+(* Count instruction events of [pid] strictly between two note events,
+   scanning from [start] in the event array. *)
+let count_ops events pid ~is_from ~is_to =
+  let n = Array.length events in
+  let rec find_from i =
+    if i >= n then None
+    else
+      match events.(i) with
+      | Event.Note { pid = p; note; _ } when p = pid && is_from note -> Some (i + 1)
+      | _ -> find_from (i + 1)
+  in
+  let rec count i acc =
+    if i >= n then None
+    else
+      match events.(i) with
+      | Event.Note { pid = p; note; _ } when p = pid && is_to note -> Some (acc, i)
+      | Event.Op { pid = p; _ } when p = pid -> count (i + 1) (acc + 1)
+      | Event.Crash { pid = p; _ } when p = pid -> None (* segment interrupted *)
+      | _ -> count (i + 1) acc
+  in
+  (find_from, count)
+
+let check_segments (res : Engine.result) ~pid_of ~is_from ~is_to ~bound ~what =
+  let events = Array.of_list res.Engine.events in
+  let n = Array.length events in
+  let violation = ref None in
+  let rec scan i =
+    if i < n && !violation = None then begin
+      (match events.(i) with
+      | Event.Note { pid; note; _ } when pid_of pid && is_from note ->
+          let _, count = count_ops events pid ~is_from ~is_to in
+          (match count (i + 1) 0 with
+          | Some (ops, _) when ops > bound ->
+              violation := Some (Printf.sprintf "p%d: %s took %d > %d steps" pid what ops bound)
+          | Some _ | None -> ())
+      | _ -> ());
+      scan (i + 1)
+    end
+  in
+  scan 0;
+  !violation
+
+let bounded_exit (res : Engine.result) ~lock_id ~bound =
+  check_segments res
+    ~pid_of:(fun _ -> true)
+    ~is_from:(fun note -> note = Event.Lock_release lock_id)
+    ~is_to:(fun note -> note = Event.Lock_released lock_id)
+    ~bound ~what:"exit"
+
+let bounded_recovery (res : Engine.result) ~lock_id ~bound =
+  (* After any crash, the steps from the next Req_begin to the start of this
+     lock's Enter segment cover the Recover work re-done by the restart. *)
+  let events = Array.of_list res.Engine.events in
+  let n = Array.length events in
+  let violation = ref None in
+  let after_crash i pid =
+    (* find pid's next Req_begin, then count ops to Lock_enter lock_id *)
+    let rec find j =
+      if j >= n then ()
+      else
+        match events.(j) with
+        | Event.Note { pid = p; note = Event.Seg Event.Req_begin; _ } when p = pid ->
+            let rec count k acc =
+              if k >= n then ()
+              else
+                match events.(k) with
+                | Event.Note { pid = p; note = Event.Lock_enter id; _ }
+                  when p = pid && id = lock_id ->
+                    if acc > bound then
+                      violation :=
+                        Some (Printf.sprintf "p%d: recovery took %d > %d steps" pid acc bound)
+                | Event.Crash { pid = p; _ } when p = pid -> ()
+                | Event.Op { pid = p; _ } when p = pid -> count (k + 1) (acc + 1)
+                | _ -> count (k + 1) acc
+            in
+            count (j + 1) 0
+        | Event.Crash { pid = p; _ } when p = pid -> () (* crashed again first *)
+        | _ -> find (j + 1)
+    in
+    find i
+  in
+  Array.iteri
+    (fun i ev ->
+      if !violation = None then
+        match ev with Event.Crash { pid; _ } -> after_crash (i + 1) pid | _ -> ())
+    events;
+  !violation
+
+let bcsr (res : Engine.result) ~lock_id ~bound =
+  let events = Array.of_list res.Engine.events in
+  let n = Array.length events in
+  let violation = ref None in
+  Array.iteri
+    (fun i ev ->
+      if !violation = None then
+        match ev with
+        | Event.Crash { pid; holding; _ } when List.mem lock_id holding ->
+            (* Count pid's ops from its next Req_begin to re-acquisition. *)
+            let rec find j =
+              if j >= n then ()
+              else
+                match events.(j) with
+                | Event.Note { pid = p; note = Event.Seg Event.Req_begin; _ } when p = pid ->
+                    let rec count k acc =
+                      if k >= n then ()
+                      else
+                        match events.(k) with
+                        | Event.Note { pid = p; note = Event.Lock_acquired id; _ }
+                          when p = pid && id = lock_id ->
+                            if acc > bound then
+                              violation :=
+                                Some
+                                  (Printf.sprintf "p%d: CS reentry took %d > %d steps" pid acc
+                                     bound)
+                        | Event.Crash { pid = p; _ } when p = pid -> ()
+                        | Event.Op { pid = p; _ } when p = pid -> count (k + 1) (acc + 1)
+                        | _ -> count (k + 1) acc
+                    in
+                    count (j + 1) 0
+                | Event.Crash { pid = p; _ } when p = pid -> ()
+                | _ -> find (j + 1)
+            in
+            find (i + 1)
+        | _ -> ())
+    events;
+  !violation
+
+let fcfs (res : Engine.result) ~tail_cell =
+  let fas_order =
+    List.filter_map
+      (function
+        | Event.Op { kind = "fas"; pid; cell; _ } when cell = tail_cell -> Some pid | _ -> None)
+      res.Engine.events
+  in
+  let cs_order =
+    List.filter_map
+      (function
+        | Event.Note { note = Event.Seg Event.Cs_begin; pid; _ } -> Some pid | _ -> None)
+      res.Engine.events
+  in
+  if fas_order = cs_order then None
+  else
+    Some
+      (Fmt.str "FCFS violated: append order %a, CS order %a"
+         Fmt.(Dump.list int)
+         fas_order
+         Fmt.(Dump.list int)
+         cs_order)
+
+let all_satisfied (res : Engine.result) ~n ~requests =
+  (not res.Engine.deadlocked) && (not res.Engine.timed_out)
+  && Engine.total_completed res = n * requests
+
+let check_battery (res : Engine.result) ~requests ~weak_lock_ids =
+  let battery =
+    [
+      ( "mutual-exclusion",
+        if weak_lock_ids = [] then mutual_exclusion res
+        else
+          (* Weakly recoverable application locks may overlap in CS, but
+             only within the responsiveness envelope of each weak lock. *)
+          List.fold_left
+            (fun acc id -> match acc with Some _ -> acc | None -> weak_me_intervals res ~lock_id:id)
+            None weak_lock_ids );
+      ("starvation-freedom", starvation_freedom res ~requests);
+    ]
+  in
+  List.filter_map (fun (name, r) -> Option.map (fun msg -> name ^ ": " ^ msg) r) battery

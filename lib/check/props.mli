@@ -1,0 +1,61 @@
+(** Offline property checkers over recorded histories.
+
+    Each checker consumes an {!Rme_sim.Engine.result} (run with
+    [~record:true], and [~trace_ops:true] where step counting is needed) and
+    returns [None] when the property holds or [Some message] describing the
+    first violation.  The properties are the ones §2.4 and §3 of the paper
+    define: ME, starvation freedom, weak-ME with consequence intervals,
+    responsiveness (Theorem 4.2), bounded exit / recovery / CS reentry, and
+    FCFS. *)
+
+open Rme_sim
+
+val mutual_exclusion : Engine.result -> string option
+(** At most one process in the application CS at any time. *)
+
+val lock_mutual_exclusion : Engine.result -> lock_id:int -> string option
+(** At most one holder of the given lock at any time. *)
+
+val starvation_freedom : Engine.result -> requests:int -> string option
+(** Every process satisfied [requests] requests and the run neither
+    deadlocked nor timed out. *)
+
+val responsiveness : Engine.result -> lock_id:int -> string option
+(** Theorem 4.2 (coarse form): the lock's maximum simultaneous occupancy k+1
+    never exceeds 1 + the total number of unsafe failures w.r.t. it. *)
+
+val weak_me_intervals : Engine.result -> lock_id:int -> string option
+(** Definition 3.2 / Theorem 4.2 (interval form): whenever the lock's
+    occupancy rises to k+1, at least k unsafe failures w.r.t. it have
+    consequence intervals overlapping that moment.  A failure's consequence
+    interval extends until every request outstanding at the failure has been
+    satisfied (Definition 3.1; requests here are super-passages of the
+    target lock's users). *)
+
+val bounded_exit : Engine.result -> lock_id:int -> bound:int -> string option
+(** Every Exit segment of the lock takes at most [bound] instructions of the
+    exiting process (requires [trace_ops]). *)
+
+val bounded_recovery : Engine.result -> lock_id:int -> bound:int -> string option
+(** After a crash, the steps from the process's next passage start to the
+    start of the lock's Enter segment are at most [bound] (requires
+    [trace_ops]). *)
+
+val bcsr : Engine.result -> lock_id:int -> bound:int -> string option
+(** Bounded CS reentry: when a process crashes while holding the lock, its
+    next acquisition takes at most [bound] of its own instructions from
+    passage start to [Lock_acquired] (requires [trace_ops]). *)
+
+val fcfs : Engine.result -> tail_cell:string -> string option
+(** In a crash-free history, CS order equals the queue-append (FAS on
+    [tail_cell]) order (requires [trace_ops]).  Only meaningful for the
+    MCS-family locks driven as the application lock. *)
+
+val all_satisfied : Engine.result -> n:int -> requests:int -> bool
+(** Convenience: completed = n × requests, no deadlock, no timeout. *)
+
+val check_battery :
+  Engine.result -> requests:int -> weak_lock_ids:int list -> string list
+(** The standard battery: mutual exclusion (or, for weakly recoverable
+    application locks, the interval form over [weak_lock_ids]) plus
+    starvation freedom.  Returns the violations found ([[]] = clean). *)

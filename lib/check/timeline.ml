@@ -1,0 +1,60 @@
+open Rme_sim
+
+(* Per-process segment as a char; later events within the same bucket
+   override earlier ones except that a crash mark is sticky per bucket. *)
+let seg_char = function
+  | `Ncs -> '.'
+  | `Enter -> 'r'
+  | `Cs -> 'C'
+  | `Exit -> '#'
+  | `Crash -> 'x'
+  | `Off -> ' '
+
+let render ?(width = 100) (res : Engine.result) =
+  let events = res.Engine.events in
+  let n = Array.length res.Engine.procs in
+  let last_step = List.fold_left (fun acc ev -> max acc (Event.step ev)) 1 events in
+  let bucket step = min (width - 1) (step * width / (last_step + 1)) in
+  let lanes = Array.init n (fun _ -> Bytes.make width ' ') in
+  let state = Array.make n `Off in
+  let crashed_bucket = Array.make n (-1) in
+  let paint pid ~from_bucket ~upto st =
+    for b = max 0 from_bucket to min (width - 1) upto do
+      if b <> crashed_bucket.(pid) then Bytes.set lanes.(pid) b (seg_char st)
+    done
+  in
+  let cursor = Array.make n 0 in
+  let transition pid step st =
+    let b = bucket step in
+    paint pid ~from_bucket:cursor.(pid) ~upto:b state.(pid);
+    state.(pid) <- st;
+    cursor.(pid) <- b
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Event.Note { pid; step; note = Event.Seg seg; _ } -> (
+          match seg with
+          | Event.Ncs_begin -> transition pid step `Ncs
+          | Event.Req_begin -> transition pid step `Enter
+          | Event.Cs_begin -> transition pid step `Cs
+          | Event.Cs_end -> transition pid step `Exit
+          | Event.Req_done -> transition pid step `Ncs)
+      | Event.Crash { pid; step; _ } ->
+          transition pid step `Enter;
+          let b = bucket step in
+          Bytes.set lanes.(pid) b 'x';
+          crashed_bucket.(pid) <- b
+      | Event.Note _ | Event.Op _ -> ())
+    events;
+  (* Final fill to the right edge. *)
+  for pid = 0 to n - 1 do
+    paint pid ~from_bucket:cursor.(pid) ~upto:(width - 1) state.(pid)
+  done;
+  let buf = Buffer.create (n * (width + 8)) in
+  for pid = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "p%-3d %s\n" pid (Bytes.to_string lanes.(pid)))
+  done;
+  Buffer.contents buf
+
+let pp ?width ppf res = Format.pp_print_string ppf (render ?width res)

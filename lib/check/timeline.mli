@@ -1,0 +1,22 @@
+(** ASCII execution timelines.
+
+    Renders a recorded history as one lane per process with a column per
+    time bucket, so a schedule (and the effect of crashes and lock waits)
+    can be eyeballed:
+
+    {v
+    p0  ..rrrEEECCCCx...rrEECCCC##....
+    p1  ..rrrrrrrrrrEEEEEEECCCC##.....
+    v}
+
+    Legend: [.] non-critical section, [r] Recover/Enter of the outermost
+    lock (waiting), [C] inside the critical section, [#] Exit, [x] crash,
+    [ ] not started / finished. *)
+
+open Rme_sim
+
+val render : ?width:int -> Engine.result -> string
+(** [render ~width res] lays the full history over [width] columns (default
+    100).  Requires the run to have been recorded. *)
+
+val pp : ?width:int -> Format.formatter -> Engine.result -> unit

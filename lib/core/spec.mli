@@ -1,0 +1,39 @@
+(** The lock registry: every algorithm in the repository, by name.
+
+    This is the catalogue the CLI, the examples and the bench harness draw
+    from; the [table1] tag marks the rows of the paper's Table 1 (plus the
+    extra baselines this reproduction adds). *)
+
+(** How a lock's RMR complexity is expected to behave — the classification
+    vocabulary of §2.5 (Table 2). *)
+type expectation = {
+  failure_free : string;  (** e.g. "O(1)" *)
+  limited_failures : string;  (** e.g. "O(sqrt F)" *)
+  arbitrary_failures : string;  (** e.g. "O(log n / log log n)" *)
+  recoverability : [ `None | `Weak | `Strong ];
+}
+
+type t = {
+  key : string;
+  descr : string;
+  expectation : expectation;
+  ff_bound : (int -> int) option;
+      (** enforced contract: a concrete upper bound, as a function of n, on
+          the worst failure-free passage RMRs under CC.  The test suite
+          drives every spec across n and fails if a passage exceeds it —
+          the asymptotic claim made falsifiable. *)
+  table1 : bool;  (** include in the Table-1 reproduction *)
+  crash_safe : bool;  (** may be driven with crash plans (false: plain MCS) *)
+  make : Rme_locks.Lock.maker;
+}
+
+val all : t list
+
+val find : string -> t option
+
+val find_exn : string -> t
+
+val keys : unit -> string list
+
+val headline : t
+(** The paper's contribution: BA-Lock over the JJJ-shape base lock. *)

@@ -1,0 +1,84 @@
+type series = { label : string; points : (float * float) list }
+
+let palette = [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b" |]
+
+let render ?(width = 640) ?(height = 420) ?(log_x = false) ~title ~xlabel ~ylabel seriesv =
+  let margin_l = 60 and margin_r = 20 and margin_t = 40 and margin_b = 50 in
+  let plot_w = float_of_int (width - margin_l - margin_r) in
+  let plot_h = float_of_int (height - margin_t - margin_b) in
+  let tx x = if log_x then log x /. log 2.0 else x in
+  let all = List.concat_map (fun s -> s.points) seriesv in
+  let all = List.filter (fun (x, _) -> (not log_x) || x > 0.0) all in
+  let xs = List.map (fun (x, _) -> tx x) all and ys = List.map snd all in
+  let fold f init l = List.fold_left f init l in
+  let xmin = fold Float.min infinity xs and xmax = fold Float.max neg_infinity xs in
+  let ymin = 0.0 and ymax = Float.max 1.0 (fold Float.max neg_infinity ys *. 1.08) in
+  let xspan = Float.max 1e-9 (xmax -. xmin) and yspan = Float.max 1e-9 (ymax -. ymin) in
+  let px x = float_of_int margin_l +. ((tx x -. xmin) /. xspan *. plot_w) in
+  let py y = float_of_int margin_t +. ((ymax -. y) /. yspan *. plot_h) in
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     font-family=\"sans-serif\" font-size=\"12\">\n"
+    width height;
+  pf "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" width height;
+  pf "<text x=\"%d\" y=\"22\" font-size=\"15\" font-weight=\"bold\">%s</text>\n" margin_l title;
+  (* axes *)
+  let x0 = float_of_int margin_l and y0 = float_of_int (height - margin_b) in
+  pf "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"black\"/>\n" x0 y0
+    (x0 +. plot_w) y0;
+  pf "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"black\"/>\n" x0
+    (float_of_int margin_t) x0 y0;
+  pf "<text x=\"%g\" y=\"%d\" text-anchor=\"middle\">%s</text>\n"
+    (x0 +. (plot_w /. 2.0))
+    (height - 12) xlabel;
+  pf
+    "<text x=\"14\" y=\"%g\" text-anchor=\"middle\" transform=\"rotate(-90 14 %g)\">%s</text>\n"
+    (float_of_int margin_t +. (plot_h /. 2.0))
+    (float_of_int margin_t +. (plot_h /. 2.0))
+    ylabel;
+  (* y ticks: 5 evenly spaced *)
+  for i = 0 to 4 do
+    let v = ymin +. (yspan *. float_of_int i /. 4.0) in
+    let y = py v in
+    pf "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#ddd\"/>\n" x0 y (x0 +. plot_w) y;
+    pf "<text x=\"%g\" y=\"%g\" text-anchor=\"end\">%.0f</text>\n" (x0 -. 6.0) (y +. 4.0) v
+  done;
+  (* x ticks from the union of sample xs *)
+  let tick_xs = List.sort_uniq compare (List.map fst all) in
+  List.iter
+    (fun x ->
+      let xp = px x in
+      pf "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"black\"/>\n" xp y0 xp (y0 +. 4.0);
+      pf "<text x=\"%g\" y=\"%g\" text-anchor=\"middle\">%.0f</text>\n" xp (y0 +. 18.0) x)
+    tick_xs;
+  (* series *)
+  List.iteri
+    (fun i s ->
+      let color = palette.(i mod Array.length palette) in
+      let pts =
+        List.filter (fun (x, _) -> (not log_x) || x > 0.0) s.points
+        |> List.map (fun (x, y) -> Printf.sprintf "%g,%g" (px x) (py y))
+      in
+      pf "<polyline fill=\"none\" stroke=\"%s\" stroke-width=\"2\" points=\"%s\"/>\n" color
+        (String.concat " " pts);
+      List.iter
+        (fun (x, y) ->
+          if (not log_x) || x > 0.0 then
+            pf "<circle cx=\"%g\" cy=\"%g\" r=\"3\" fill=\"%s\"/>\n" (px x) (py y) color)
+        s.points;
+      (* legend *)
+      let ly = margin_t + 8 + (i * 18) in
+      pf "<rect x=\"%d\" y=\"%d\" width=\"12\" height=\"4\" fill=\"%s\"/>\n"
+        (width - margin_r - 150) ly color;
+      pf "<text x=\"%d\" y=\"%d\">%s</text>\n" (width - margin_r - 132) (ly + 6) s.label)
+    seriesv;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write ~path ?log_x ~title ~xlabel ~ylabel seriesv =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?log_x ~title ~xlabel ~ylabel seriesv))

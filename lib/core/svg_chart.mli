@@ -1,0 +1,28 @@
+(** Dependency-free SVG line charts for the sweep curves.
+
+    Deliberately tiny: linear or log₂ x-axis, auto-scaled y-axis, one
+    polyline per series with point markers and a legend.  Meant for the
+    growth curves this repository produces (RMR vs F, RMR vs n), where a
+    reviewer wants to eyeball √F against log n without external tooling. *)
+
+type series = { label : string; points : (float * float) list }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?log_x:bool ->
+  title:string ->
+  xlabel:string ->
+  ylabel:string ->
+  series list ->
+  string
+(** Returns a complete standalone SVG document. *)
+
+val write :
+  path:string ->
+  ?log_x:bool ->
+  title:string ->
+  xlabel:string ->
+  ylabel:string ->
+  series list ->
+  unit

@@ -1,0 +1,120 @@
+open Rme_sim
+
+type scenario =
+  | No_failures
+  | Fas_storm of { f : int; rate : float }
+  | Random_storm of { crashes : int; rate : float }
+  | Batch of { size : int; at_step : int; repeat : int; gap : int }
+
+let pp_scenario ppf = function
+  | No_failures -> Fmt.string ppf "none"
+  | Fas_storm { f; rate } -> Fmt.pf ppf "fas-storm(F=%d,rate=%g)" f rate
+  | Random_storm { crashes; rate } -> Fmt.pf ppf "random-storm(%d,rate=%g)" crashes rate
+  | Batch { size; repeat; _ } -> Fmt.pf ppf "batch(size=%d,repeat=%d)" size repeat
+
+let scenario_of_string s =
+  match String.split_on_char ':' s with
+  | [ "none" ] -> Some No_failures
+  | [ "fas"; f ] -> int_of_string_opt f |> Option.map (fun f -> Fas_storm { f; rate = 0.5 })
+  | [ "storm"; k ] ->
+      int_of_string_opt k |> Option.map (fun crashes -> Random_storm { crashes; rate = 0.01 })
+  | [ "batch"; k ] ->
+      int_of_string_opt k
+      |> Option.map (fun size -> Batch { size; at_step = 200; repeat = 1; gap = 1000 })
+  | _ -> None
+
+let crash_plan scenario ~seed =
+  match scenario with
+  | No_failures -> Crash.none
+  | Fas_storm { f; rate } -> Crash.fas_gap ~seed ~rate ~max_crashes:f ~cell_suffix:".tail" ()
+  | Random_storm { crashes; rate } -> Crash.random ~seed ~rate ~max_crashes:crashes ()
+  | Batch { size; at_step; repeat; gap } ->
+      Crash.all
+        (List.init repeat (fun r ->
+             Crash.batch ~step:(at_step + (r * gap)) ~pids:(List.init size (fun i -> i))))
+
+type cfg = {
+  n : int;
+  model : Memory.model;
+  requests : int;
+  seed : int;
+  scenario : scenario;
+  record : bool;
+  cs_yields : int;
+  ncs_yields : int;
+  max_steps : int;
+}
+
+let default_cfg =
+  {
+    n = 8;
+    model = Memory.CC;
+    requests = 8;
+    seed = 1;
+    scenario = No_failures;
+    record = false;
+    cs_yields = 2;
+    ncs_yields = 0;
+    max_steps = 5_000_000;
+  }
+
+let run (spec : Spec.t) cfg =
+  let cs ~pid:_ =
+    for _ = 1 to cfg.cs_yields do
+      Api.yield ()
+    done
+  in
+  let ncs ~pid:_ =
+    for _ = 1 to cfg.ncs_yields do
+      Api.yield ()
+    done
+  in
+  Harness.run_lock ~record:cfg.record ~max_steps:cfg.max_steps ~cs ~ncs ~n:cfg.n ~model:cfg.model
+    ~sched:(Sched.random ~seed:cfg.seed)
+    ~crash:(crash_plan cfg.scenario ~seed:(cfg.seed + 7919))
+    ~requests:cfg.requests ~make:spec.Spec.make ()
+
+let run_key key cfg = run (Spec.find_exn key) cfg
+
+type measurement = {
+  max_rmr : float;
+  avg_rmr : float;
+  avg_super_rmr : float;
+  crashes : int;
+  max_level : int;
+  satisfied : bool;
+  me_ok : bool;
+  throughput : float;  (* satisfied requests per 1000 engine steps *)
+}
+
+let measure (res : Engine.result) =
+  {
+    max_rmr = float_of_int (Engine.max_rmr res);
+    avg_rmr = Engine.avg_rmr res;
+    avg_super_rmr = Engine.avg_rmr_super res;
+    crashes = res.Engine.total_crashes;
+    max_level = Array.fold_left (fun acc (p : Engine.proc_stats) -> max acc p.max_level) 0 res.Engine.procs;
+    satisfied =
+      (not res.Engine.deadlocked) && not res.Engine.timed_out
+      && Array.for_all (fun (p : Engine.proc_stats) -> p.completed > 0) res.Engine.procs;
+    me_ok = res.Engine.cs_max <= 1;
+    throughput =
+      1000.0 *. float_of_int (Engine.total_completed res) /. float_of_int (max 1 res.Engine.steps);
+  }
+
+let sweep spec ~over xs = List.map (fun x -> (x, measure (run spec (over x)))) xs
+
+let repeat_avg spec cfg ~seeds =
+  let ms = List.map (fun seed -> measure (run spec { cfg with seed })) seeds in
+  let k = float_of_int (List.length ms) in
+  let sum f = List.fold_left (fun acc m -> acc +. f m) 0.0 ms in
+  {
+    max_rmr = List.fold_left (fun acc m -> Float.max acc m.max_rmr) 0.0 ms;
+    avg_rmr = sum (fun m -> m.avg_rmr) /. k;
+    avg_super_rmr = sum (fun m -> m.avg_super_rmr) /. k;
+    crashes = List.fold_left (fun acc m -> acc + m.crashes) 0 ms / List.length ms;
+    max_level = List.fold_left (fun acc m -> max acc m.max_level) 0 ms;
+    satisfied = List.for_all (fun m -> m.satisfied) ms;
+    me_ok = List.for_all (fun m -> m.me_ok) ms;
+    throughput = sum (fun m -> m.throughput) /. k;
+  }

@@ -1,0 +1,43 @@
+(** The arbitrator: a dual-port strongly recoverable 2-sided lock (§5.1.1).
+
+    At most one process competes on each side ([Left]/[Right]) at any time,
+    but any two of the n processes can be the competitors.  Following
+    Golab–Ramaraju's recoverable transformation of a 2-process lock, this is
+    a Peterson-style tie-breaker protocol made recoverable and local-spin:
+
+    - each side persists a tiny state machine ([Free]/[Trying]/[InCS]/
+      [Leaving]) plus the occupant's identity, so crashed competitors
+      re-enter idempotently (BCSR) and interrupted exits complete first;
+    - waiting spins on a per-process cell (home = that process under DSM);
+      whoever changes [want]/[turn] wakes the opposite side's registered
+      occupant, with an arm / re-check / sleep sequence that tolerates lost
+      wake-ups and crash-restart re-arming.
+
+    O(1) RMR per passage in every failure scenario, under CC and DSM. *)
+
+type t
+
+val make_spin_pool : ?name:string -> Rme_sim.Engine.Ctx.t -> Rme_sim.Cell.t array
+(** One doorbell cell per process (home = that process).  A process waits
+    at one arbitrator at a time, so a single pool can be shared by every
+    node of a tournament tree; a stale ring from a node a process already
+    left is absorbed by the arm / re-check / sleep loop as a spurious
+    wake-up. *)
+
+val create : ?name:string -> ?spin_pool:Rme_sim.Cell.t array -> Rme_sim.Engine.Ctx.t -> t
+(** [spin_pool] shares doorbells across instances (defaults to a private
+    pool). *)
+
+val lock_id : t -> int
+
+val acquire : t -> Lock.side -> pid:int -> unit
+(** Recover + Enter from the given side. *)
+
+val release : t -> Lock.side -> pid:int -> unit
+
+val dual : t -> Lock.dual
+
+val as_two_process_lock : t -> n:int -> Lock.t
+(** View the arbitrator as an ordinary lock for exactly two fixed processes
+    (pid 0 → [Left], pid 1 → [Right]) — used by unit tests and by the
+    tournament tree. *)

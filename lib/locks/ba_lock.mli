@@ -1,0 +1,43 @@
+(** BA-Lock: the well-bounded super-adaptive lock of §5.2.
+
+    A stack of [m] {!Sa_lock} levels over a bounded non-adaptive strongly
+    recoverable base lock: the core of level i is level i+1, the core of
+    level m is the base lock.  Escalating k processes past any level
+    requires k unsafe failures of that level's filter (Lemma 5.8), and the
+    filters' sensitive instructions are pairwise distinct (locality,
+    Theorem 5.12), so reaching level x needs ≥ x(x−1)/2 recent failures
+    (Theorem 5.17): the RMR cost of a passage is O(min{√F, T(n)})
+    (Theorem 5.18), and with the JJJ-shape base lock
+    O(min{√F, log n / log log n}) (Theorem 5.19).
+
+    With [track_level] (the §7.3 optimisation) a restarting process skips
+    straight to its persisted deepest level instead of re-walking the chain,
+    reducing a crash-prone super-passage from O(F₀·√F) to O(F₀ + √F). *)
+
+type t
+
+val create :
+  ?name:string ->
+  ?levels:int ->
+  ?track_level:bool ->
+  base:Lock.maker ->
+  Rme_sim.Engine.Ctx.t ->
+  t
+(** [levels] defaults to the base lock's worst-case RMR depth: ⌈log₂ n⌉
+    for n processes (the m = T(n) prescription of §5.2). *)
+
+val lock : t -> Lock.t
+
+val lock_id : t -> int
+
+val levels : t -> int
+
+val filter_ids : t -> int list
+(** Lock ids of the per-level filters, outermost first — used by the
+    checkers to count per-level unsafe failures. *)
+
+val make : base:Lock.maker -> Lock.maker
+(** [make ~base] with default levels and no level tracking. *)
+
+val default : Lock.maker
+(** The paper's headline configuration: BA over the JJJ-shape base lock. *)

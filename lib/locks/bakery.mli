@@ -1,0 +1,20 @@
+(** A strongly recoverable Bakery lock — reads and writes only, O(n) RMR.
+
+    Lamport's bakery algorithm with all per-process variables persisted and
+    a small state machine making every phase idempotent:
+
+    - doorway: pick number = 1 + max over a scan (restart-safe: the number
+      is written once, then the state advances);
+    - scan: wait, for each j, until j is not choosing and j's (number, id)
+      does not precede ours — each wait is a single-cell spin with a
+      host-level predicate;
+    - BCSR via a persisted [InCS] state.
+
+    This is the classic read/write-only construction matching the
+    Ω(log n) lower-bound regime discussed in the paper's related work; its
+    O(n) passages make it a faithful stand-in for the O(n)-bounded core of
+    Golab–Ramaraju's §4.2 transformation when plugged into {!Sa_lock}. *)
+
+val make : Lock.maker
+
+val make_named : name:string -> Lock.maker

@@ -1,0 +1,10 @@
+(** The CLH queue lock (Craig; Landin & Hagersten) — a second
+    non-recoverable queue-lock baseline.
+
+    Unlike MCS, the queue is implicit: each process spins on its
+    {e predecessor's} node, obtained from the FAS on [tail], and reuses that
+    node for its next request.  O(1) RMR under CC; under DSM the spin is on
+    a remote node (CLH is the classic example of a CC-only local-spin lock,
+    a useful contrast for the RMR accounting tests). *)
+
+val make : Lock.maker

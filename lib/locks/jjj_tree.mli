@@ -1,0 +1,20 @@
+(** The JJJ-shape base lock: a k-ary arbitration tree of {!Kport} locks,
+    giving worst-case O(log n / log log n) RMR per passage (Table 1, row
+    "Jayanti, Jayanti and Joshi").
+
+    With branching factor k = ⌈log n / log log n⌉ the tree depth is
+    O(log n / log k) = O(log n / log log n); each node costs O(1) RMR
+    failure-free (see {!Kport}), so the whole lock is a bounded
+    non-adaptive strongly recoverable lock with sub-logarithmic RMR — the
+    base-lock role the paper's recursive framework instantiates. *)
+
+val branching_for : int -> int
+(** [branching_for n] = max 2 ⌈log₂ n / log₂ log₂ n⌉. *)
+
+val depth_for : int -> int
+(** Tree depth for [n] processes with the default branching factor. *)
+
+val make : Lock.maker
+
+val make_named : ?k:int -> name:string -> Lock.maker
+(** Override the branching factor (ablation benches). *)

@@ -1,0 +1,30 @@
+(** A k-port strongly recoverable queue lock (substitution S1 in DESIGN.md).
+
+    Stands in for the k-port MCS lock of Jayanti–Jayanti–Joshi (2019), whose
+    published protocol closes the MCS sensitive window by an intricate
+    helping scheme.  We obtain the same interface and cost profile with the
+    simulator-atomic {!Rme_sim.Api.fas_persist} instruction (FAS whose
+    result is persisted atomically — the "special RMW instruction" of
+    Ramaraju 2015 that the paper's related work discusses): with the append
+    atomic, every instruction is non-sensitive, so the lock is strongly
+    recoverable with O(1) RMR per passage and bounded recovery.
+
+    Each of the [k] ports carries its own persisted state machine; at most
+    one process may use a port at a time (the arbitration-tree structure of
+    {!Jjj_tree} guarantees this).  Port 0..k-1; the pid only matters for
+    node placement (DSM-local spinning). *)
+
+type t
+
+val create : ?name:string -> k:int -> Rme_sim.Engine.Ctx.t -> t
+
+val lock_id : t -> int
+
+val acquire : t -> port:int -> pid:int -> unit
+
+val release : t -> port:int -> pid:int -> unit
+
+val as_lock : t -> Lock.t
+(** View as an n-process lock where each pid uses port [pid] directly —
+    requires [k >= n].  This is the Ramaraju-style O(1) RME lock built from
+    the non-standard instruction, benchmarked as its own Table-1 row. *)

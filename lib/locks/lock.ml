@@ -1,0 +1,32 @@
+open Rme_sim
+
+type t = Harness.lock = { name : string; acquire : pid:int -> unit; release : pid:int -> unit }
+
+type maker = Engine.Ctx.t -> t
+
+let instrument ~id ~name ~acquire ~release =
+  {
+    name;
+    acquire =
+      (fun ~pid ->
+        Api.note (Event.Lock_enter id);
+        acquire ~pid;
+        Api.note (Event.Lock_acquired id));
+    release =
+      (fun ~pid ->
+        Api.note (Event.Lock_release id);
+        release ~pid;
+        Api.note (Event.Lock_released id));
+  }
+
+type side = Left | Right
+
+let side_index = function Left -> 0 | Right -> 1
+
+let pp_side ppf = function Left -> Fmt.string ppf "left" | Right -> Fmt.string ppf "right"
+
+type dual = {
+  dual_name : string;
+  dual_acquire : side -> pid:int -> unit;
+  dual_release : side -> pid:int -> unit;
+}

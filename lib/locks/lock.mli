@@ -1,0 +1,35 @@
+(** Common lock plumbing.
+
+    A lock presented to the harness is a {!Rme_sim.Harness.lock} — a record
+    of closures — so composite locks compose at the value level.  This
+    module provides the instrumentation wrapper emitting the per-lock
+    history milestones the property checkers rely on, the dual-port
+    interface of the arbitrator lock, and the [maker] type used by the
+    registry. *)
+
+open Rme_sim
+
+type t = Harness.lock = { name : string; acquire : pid:int -> unit; release : pid:int -> unit }
+
+type maker = Engine.Ctx.t -> t
+(** Lock constructor: allocates shared cells and registers the lock. *)
+
+val instrument : id:int -> name:string -> acquire:(pid:int -> unit) -> release:(pid:int -> unit) -> t
+(** Wrap segment implementations with {!Rme_sim.Event.note} milestones:
+    [Lock_enter id] / [Lock_acquired id] around [acquire] and
+    [Lock_release id] / [Lock_released id] around [release]. *)
+
+(** Side of a dual-port lock (the arbitrator's two ports, §5.1.1). *)
+type side = Left | Right
+
+val side_index : side -> int
+
+val pp_side : side Fmt.t
+
+(** A dual-port lock: at most one process may compete on each side at any
+    time, but any pair of the n processes may be the two competitors. *)
+type dual = {
+  dual_name : string;
+  dual_acquire : side -> pid:int -> unit;
+  dual_release : side -> pid:int -> unit;
+}

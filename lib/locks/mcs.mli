@@ -1,0 +1,7 @@
+(** The original MCS queue lock (Mellor-Crummey & Scott 1991).
+
+    Non-recoverable baseline: FCFS, O(1) RMR per passage under both CC and
+    DSM, but a crash inside a passage can deadlock the queue — the tests
+    demonstrate this, motivating the recoverable variants. *)
+
+val make : Lock.maker

@@ -1,0 +1,11 @@
+(** MCS with wait-free (bounded) exit, after Dvir & Taubenfeld (§4.2 of the
+    paper).
+
+    The leaving process never waits for its successor's link: both the link
+    creation and the exit signal go through a CAS on the [next] field, which
+    can only be written once.  If the exit CAS loses, the link exists and the
+    successor is signalled; if the link CAS loses, the lock is free and the
+    enterer proceeds.  A node can no longer be reused across requests, so
+    each request takes a fresh node. *)
+
+val make : Lock.maker

@@ -1,0 +1,30 @@
+open Rme_sim
+
+type node = { id : int; next : Cell.t; locked : Cell.t; owner : int }
+
+let null = 0
+
+type registry = { mem : Memory.t; prefix : string; nodes : node Vec.t }
+
+let create_registry mem ~prefix = { mem; prefix; nodes = Vec.create () }
+
+let fresh reg ~owner =
+  let id = Vec.length reg.nodes + 1 in
+  let name field = Printf.sprintf "%s.n%d.%s" reg.prefix id field in
+  let node =
+    {
+      id;
+      next = Memory.alloc reg.mem ~home:owner ~name:(name "next") null;
+      locked = Memory.alloc reg.mem ~home:owner ~name:(name "locked") 0;
+      owner;
+    }
+  in
+  Vec.push reg.nodes node;
+  node
+
+let get reg id =
+  if id <= 0 || id > Vec.length reg.nodes then
+    invalid_arg (Printf.sprintf "Nodes.get: bad node id %d" id);
+  Vec.get reg.nodes (id - 1)
+
+let count reg = Vec.length reg.nodes

@@ -1,0 +1,48 @@
+(** SA-Lock: the semi-adaptive framework of §5.1 (Algorithm 3).
+
+    Composition: a weakly recoverable {!Wr_lock} filter, a {!Splitter}, a
+    strongly recoverable {e core} lock, and a dual-port {!Arbitrator}:
+
+    - the filter admits exactly one process per "epoch" unless an unsafe
+      failure splits its queue;
+    - of the (possibly several) filter holders, the splitter lets one take
+      the fast path (→ arbitrator, Left side) and diverts the rest to the
+      slow path (→ core lock, then arbitrator, Right side);
+    - the path type is persisted per process, so crashed processes retrace
+      their own path (BCSR).
+
+    RMR per passage: O(1) in the absence of failures; O(T(n)) of the core
+    lock otherwise (Theorem 5.6).  Strongly recoverable (Theorem 5.5).
+
+    Besides the plain {!Lock.t} view (used standalone with any core), the
+    module exposes the front/back phases so that {!Ba_lock} can enter the
+    recursive chain at an arbitrary level (§7.3 level tracking). *)
+
+type t
+
+val create :
+  ?name:string -> ?level:int -> ?core:Lock.t -> Rme_sim.Engine.Ctx.t -> t
+(** [level] tags the instance's history milestones ({!Rme_sim.Event.Level},
+    {!Rme_sim.Event.Path}) with its depth in a recursive stack.  [core] may
+    be omitted when only the phase interface is used ({!Ba_lock} supplies
+    the next level itself). *)
+
+val lock : t -> Lock.t
+(** The standalone view: acquire = filter → splitter → (core) → arbitrator.
+    @raise Invalid_argument when the instance has no core lock. *)
+
+val lock_id : t -> int
+
+val filter : t -> Wr_lock.t
+
+(** {1 Phase interface (used by {!Ba_lock})} *)
+
+val enter_front : t -> pid:int -> [ `Fast | `Slow ]
+(** Filter acquire + splitter navigation; commits and persists the path. *)
+
+val enter_back : t -> pid:int -> unit
+(** Arbitrator acquire, from the side given by the persisted path. *)
+
+val release_with : t -> pid:int -> core_release:(unit -> unit) -> unit
+(** Full Exit segment; [core_release] runs exactly when the slow path was
+    taken. *)

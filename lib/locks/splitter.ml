@@ -1,0 +1,18 @@
+open Rme_sim
+
+(* [owner] holds pid + 1 (0 = free): pids are 0-based here, unlike the
+   paper's 1-based processes. *)
+type t = { owner : Cell.t; mem : Memory.t }
+
+let create ?(name = "splitter") ctx =
+  let mem = Engine.Ctx.memory ctx in
+  { owner = Memory.alloc mem ~name:(name ^ ".owner") 0; mem }
+
+let try_fast t ~pid =
+  let (_ : bool) = Api.cas t.owner ~expect:0 ~value:(pid + 1) in
+  Api.read t.owner = pid + 1
+
+let release t ~pid:_ = Api.write t.owner 0
+
+let occupant t =
+  match Memory.peek t.mem t.owner with 0 -> None | v -> Some (v - 1)

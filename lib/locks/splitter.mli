@@ -1,0 +1,24 @@
+(** The splitter of §5.1.1: a biased, strongly recoverable try-lock.
+
+    Implemented with a single integer cell [owner] and a CAS: if several
+    processes navigate it concurrently (possible only after an unsafe
+    failure of the filter lock), exactly one takes the fast path; the rest
+    are diverted to the slow path.  O(1) RMR in every scenario.
+
+    The outcome is decided by reading [owner] after the CAS, never from the
+    CAS result, so the step is idempotent and crash-safe (a process that
+    crashed after a winning CAS re-reads [owner] and finds itself). *)
+
+type t
+
+val create : ?name:string -> Rme_sim.Engine.Ctx.t -> t
+
+val try_fast : t -> pid:int -> bool
+(** Attempt to occupy the fast path.  Returns [true] iff [pid] holds it
+    (idempotent: re-invocation by the current occupant returns [true]). *)
+
+val release : t -> pid:int -> unit
+(** Free the fast path.  Must only be called by the occupant. *)
+
+val occupant : t -> int option
+(** Diagnostic peek. *)

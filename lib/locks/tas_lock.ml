@@ -1,0 +1,19 @@
+open Rme_sim
+
+let make_named ~name ctx =
+  let mem = Engine.Ctx.memory ctx in
+  let id = Engine.Ctx.register_lock ctx name in
+  let owner = Memory.alloc mem ~name:(name ^ ".owner") 0 in
+  let acquire ~pid =
+    (* Owner check doubles as BCSR recovery. *)
+    while Api.read owner <> pid + 1 do
+      if not (Api.cas owner ~expect:0 ~value:(pid + 1)) then Api.spin_until owner (Api.Eq 0)
+    done
+  in
+  let release ~pid =
+    let (_ : bool) = Api.cas owner ~expect:(pid + 1) ~value:0 in
+    ()
+  in
+  Lock.instrument ~id ~name ~acquire ~release
+
+let make ctx = make_named ~name:"tas" ctx

@@ -1,0 +1,13 @@
+(** A recoverable test-and-set spinlock — the simplest strongly recoverable
+    lock, and the "no RMR guarantee" baseline row of the benches.
+
+    The entire lock state is one cell holding the owner's identity, so
+    recovery is trivial: a process that finds itself as the owner re-enters
+    (BCSR); every step is an idempotent CAS.  The price is the RMR
+    complexity: under CC every handoff invalidates every spinner (O(n) per
+    passage under contention), and under DSM the spinning is remote — the
+    behaviour the MCS-family locks exist to avoid. *)
+
+val make : Lock.maker
+
+val make_named : name:string -> Lock.maker

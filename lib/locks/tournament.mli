@@ -1,0 +1,20 @@
+(** N-process strongly recoverable tournament lock — O(log n) RMR.
+
+    A complete binary tree of {!Arbitrator} locks: process [p] climbs from
+    its leaf to the root, competing at each internal node on the side given
+    by the subtree it arrives from (at most one process per side, by
+    induction).  Exit releases the nodes in reverse (root first).
+
+    Every node is strongly recoverable with BCSR, so a crashed process
+    re-enters still-held nodes in O(1) steps each and re-competes for the
+    rest; the whole lock is strongly recoverable with worst-case
+    O(log n) RMR per passage in every failure scenario — the shape of
+    Golab–Ramaraju's bounded transformation and of Jayanti–Joshi's
+    O(log n) algorithm (Table 1). *)
+
+val make : Lock.maker
+
+val make_named : name:string -> Lock.maker
+
+val levels_for : int -> int
+(** Tree height used for [n] processes: ⌈log₂ n⌉. *)

@@ -1,0 +1,96 @@
+(** The instruction set available to simulated processes.
+
+    Lock implementations and process bodies call these functions; each one
+    performs an effect that suspends the process and hands control to the
+    engine, which applies the instruction to shared memory, charges RMRs,
+    and may inject a crash immediately before or after it (§2.2 of the
+    paper).
+
+    The functions in this module must only be called from inside a process
+    body running under {!Engine.run}. *)
+
+(** Condition for local-spin waiting.  [Pred] carries an arbitrary
+    host-level predicate, re-evaluated by the engine on every wake. *)
+type cond = Eq of int | Ne of int | Ge of int | Pred of (int -> bool)
+
+val cond_holds : cond -> int -> bool
+
+(** Static classification of instructions, visible to crash plans and
+    tracing. *)
+type kind = Read | Write | Cas | Fas | Faa | Spin | Note | Nop
+
+val pp_kind : kind Fmt.t
+
+(** The engine-side view of a suspended instruction. *)
+type _ view =
+  | V_read : Cell.t -> int view
+  | V_write : Cell.t * int -> unit view
+  | V_cas : Cell.t * int * int -> bool view
+  | V_fas : Cell.t * int -> int view
+  | V_fas_open_unsafe : int * Cell.t * int -> int view
+      (** FAS that opens lock [id]'s sensitive window (the WR-Lock append,
+          Algorithm 2 line "FAS(tail, mine\[i\])"). *)
+  | V_fas_persist : Cell.t * int * Cell.t -> unit view
+      (** Atomic FAS-and-persist-result, the stronger instruction used by the
+          [kport] substitution (DESIGN.md S1). *)
+  | V_write_close_unsafe : int * Cell.t * int -> unit view
+      (** Write that closes lock [id]'s sensitive window (persisting the FAS
+          result into [pred]). *)
+  | V_faa : Cell.t * int -> int view
+  | V_spin : Cell.t * cond -> unit view
+  | V_note : Event.note -> unit view
+  | V_get_done : int view
+  | V_yield : unit view
+
+val kind_of_view : 'a view -> kind
+
+val cell_of_view : 'a view -> Cell.t option
+
+type _ Effect.t += Instr : 'a view -> 'a Effect.t
+(** The single effect simulated processes perform; handled by {!Engine}. *)
+
+(** {1 Instructions} *)
+
+val read : Cell.t -> int
+
+val write : Cell.t -> int -> unit
+
+val cas : Cell.t -> expect:int -> value:int -> bool
+(** Returns [true] iff the swap happened. *)
+
+val fas : Cell.t -> int -> int
+(** Atomically stores the argument and returns the previous contents. *)
+
+val faa : Cell.t -> int -> int
+(** Atomically adds and returns the previous contents. *)
+
+val fas_open_unsafe : lock:int -> Cell.t -> int -> int
+(** Like {!fas} but marks the executing process as inside lock [lock]'s
+    sensitive window: a crash from immediately after this instruction until
+    the matching {!write_close_unsafe} is an {e unsafe failure} with respect
+    to that lock (Definition 3.4). *)
+
+val write_close_unsafe : lock:int -> Cell.t -> int -> unit
+(** Like {!write} but closes the sensitive window opened by
+    {!fas_open_unsafe}: a crash after this instruction is safe again. *)
+
+val fas_persist : Cell.t -> int -> dst:Cell.t -> unit
+(** Atomically [dst := FAS(cell, v)].  Not available on commodity hardware;
+    used only by the [kport] base-lock substitution, see DESIGN.md S1. *)
+
+val spin_until : Cell.t -> cond -> unit
+(** Local-spin wait until the cell satisfies [cond].  The engine parks the
+    process and wakes it when a write makes the condition true; RMR
+    accounting charges the initial fetch and one re-fetch per wake, which is
+    the standard O(1)-per-handoff cost of local spinning. *)
+
+val note : Event.note -> unit
+(** Emit a history event (free: no RMRs, but it is a scheduling point). *)
+
+val completed_requests : unit -> int
+(** Number of satisfied requests of the calling process, tracked by the
+    engine as recoverable application state (it survives crashes). *)
+
+val yield : unit -> unit
+(** A pure scheduling point: lets the scheduler interleave (and the crash
+    plan strike) between two local computations. *)

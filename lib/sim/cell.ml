@@ -1,0 +1,9 @@
+type t = { id : int; name : string; home : int }
+
+let global = -1
+
+let make ~id ~name ~home = { id; name; home }
+
+let pp ppf t = Fmt.pf ppf "%s#%d" t.name t.id
+
+let equal a b = a.id = b.id

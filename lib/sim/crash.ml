@@ -1,0 +1,169 @@
+type point = Before | After
+
+type decision = No_crash | Crash of point
+
+type op_info = {
+  pid : int;
+  step : int;
+  op_index : int;
+  kind : Api.kind;
+  cell : string option;
+  note : Event.note option;
+}
+
+type t = {
+  label : string;
+  on_op : op_info -> decision;
+  async : step:int -> int list;
+}
+
+let label t = t.label
+
+let on_op t info = t.on_op info
+
+let async t ~step = t.async ~step
+
+let no_async ~step:_ = []
+
+let none = { label = "none"; on_op = (fun _ -> No_crash); async = no_async }
+
+let at_op ~pid ~nth point =
+  let fired = ref false in
+  {
+    label = Printf.sprintf "at-op(p%d,%d)" pid nth;
+    on_op =
+      (fun info ->
+        if (not !fired) && info.pid = pid && info.op_index = nth then begin
+          fired := true;
+          Crash point
+        end
+        else No_crash);
+    async = no_async;
+  }
+
+(* Crash [pid] at the [occurrence]-th instruction satisfying [match_]. *)
+let on_match ~label ~pid ~occurrence ~point match_ =
+  let seen = ref 0 in
+  let fired = ref false in
+  {
+    label;
+    on_op =
+      (fun info ->
+        if (not !fired) && info.pid = pid && match_ info then begin
+          let k = !seen in
+          incr seen;
+          if k = occurrence then begin
+            fired := true;
+            Crash point
+          end
+          else No_crash
+        end
+        else No_crash);
+    async = no_async;
+  }
+
+let on_kind ~pid ~kind ~occurrence point =
+  on_match
+    ~label:(Fmt.str "on-kind(p%d,%a,%d)" pid Api.pp_kind kind occurrence)
+    ~pid ~occurrence ~point
+    (fun info -> info.kind = kind)
+
+let on_cell ~pid ~cell ~occurrence point =
+  on_match
+    ~label:(Printf.sprintf "on-cell(p%d,%s,%d)" pid cell occurrence)
+    ~pid ~occurrence ~point
+    (fun info -> info.cell = Some cell)
+
+let on_custom_note ~pid ~tag ~occurrence point =
+  on_match
+    ~label:(Printf.sprintf "on-note(p%d,%s,%d)" pid tag occurrence)
+    ~pid ~occurrence ~point
+    (fun info -> match info.note with Some (Event.Custom s) -> s = tag | _ -> false)
+
+let random ~seed ~rate ~max_crashes ?pids () =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Crash.random: rate must be in [0, 1]";
+  let rng = Random.State.make [| seed; 0x5ca1ab1e |] in
+  let budget = ref max_crashes in
+  let eligible =
+    match pids with None -> fun _ -> true | Some ps -> fun pid -> List.mem pid ps
+  in
+  {
+    label = Printf.sprintf "random(rate=%g,max=%d)" rate max_crashes;
+    on_op =
+      (fun info ->
+        if !budget > 0 && eligible info.pid && Random.State.float rng 1.0 < rate then begin
+          decr budget;
+          Crash (if Random.State.bool rng then Before else After)
+        end
+        else No_crash);
+    async = no_async;
+  }
+
+let fas_gap ~seed ~rate ~max_crashes ?(cell_suffix = "filter.tail") () =
+  let rng = Random.State.make [| seed; 0xdeadfa5 |] in
+  let budget = ref max_crashes in
+  let has_suffix s suf =
+    let ls = String.length s and lf = String.length suf in
+    ls >= lf && String.sub s (ls - lf) lf = suf
+  in
+  {
+    label = Printf.sprintf "fas-gap(rate=%g,max=%d)" rate max_crashes;
+    on_op =
+      (fun info ->
+        match info.cell with
+        | Some cell
+          when !budget > 0 && info.kind = Api.Fas && has_suffix cell cell_suffix
+               && Random.State.float rng 1.0 < rate ->
+            decr budget;
+            Crash After
+        | _ -> No_crash);
+    async = no_async;
+  }
+
+let async_at specs =
+  let pending = ref specs in
+  {
+    label = "async-at";
+    on_op = (fun _ -> No_crash);
+    async =
+      (fun ~step ->
+        let due, rest = List.partition (fun (s, _) -> step >= s) !pending in
+        pending := rest;
+        List.map snd due);
+  }
+
+let batch ~step ~pids = { (async_at (List.map (fun p -> (step, p)) pids)) with label = "batch" }
+
+let every_nth_passage ~pid ~period ~max_crashes =
+  if period <= 0 then invalid_arg "Crash.every_nth_passage: period must be positive";
+  let passages = ref 0 in
+  let budget = ref max_crashes in
+  {
+    label = Printf.sprintf "every-nth-passage(p%d,%d)" pid period;
+    on_op =
+      (fun info ->
+        match info.note with
+        | Some (Event.Seg Event.Req_begin) when info.pid = pid && !budget > 0 ->
+            let k = !passages in
+            incr passages;
+            if k mod period = period - 1 then begin
+              decr budget;
+              Crash After
+            end
+            else No_crash
+        | _ -> No_crash);
+    async = no_async;
+  }
+
+let all plans =
+  {
+    label = String.concat "+" (List.map (fun p -> p.label) plans);
+    on_op =
+      (fun info ->
+        let rec loop = function
+          | [] -> No_crash
+          | p :: rest -> ( match p.on_op info with No_crash -> loop rest | c -> c)
+        in
+        loop plans);
+    async = (fun ~step -> List.concat_map (fun p -> p.async ~step) plans);
+  }

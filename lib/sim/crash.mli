@@ -1,0 +1,82 @@
+(** Crash plans: when and where processes fail.
+
+    The paper's failure model (§2.2) allows a process to crash at any point,
+    losing its private state while shared (NVRAM) state persists.  A crash
+    plan decides, for every instruction a process is about to execute,
+    whether it crashes immediately {e before} or {e after} it — "after"
+    applies the instruction to memory but loses its result, which is exactly
+    the failure mode of the sensitive FAS of Algorithm 2.  Plans can also
+    fire {e asynchronous} crashes that hit a process while it is parked
+    (waiting on a spin), and batch crashes (§7.1).
+
+    Plans are stateful values; build a fresh plan for every run. *)
+
+type point = Before | After
+
+type decision = No_crash | Crash of point
+
+(** What a plan sees about the instruction about to execute. *)
+type op_info = {
+  pid : int;
+  step : int;  (** global step counter *)
+  op_index : int;  (** per-process instruction counter (since last restart... no: since run start) *)
+  kind : Api.kind;
+  cell : string option;  (** name of the touched cell, if any *)
+  note : Event.note option;  (** payload when [kind = Note] *)
+}
+
+type t
+
+val label : t -> string
+
+val on_op : t -> op_info -> decision
+
+val async : t -> step:int -> int list
+(** Pids to crash right now, whatever they are doing (even parked). *)
+
+(** {1 Constructors} *)
+
+val none : t
+
+val at_op : pid:int -> nth:int -> point -> t
+(** Crash [pid] at its [nth] instruction (0-based, counted across restarts). *)
+
+val on_kind : pid:int -> kind:Api.kind -> occurrence:int -> point -> t
+(** Crash [pid] around the [occurrence]-th (0-based) instruction of [kind]
+    it executes.  [on_kind ~pid:3 ~kind:Fas ~occurrence:0 After] is "p3
+    crashes immediately after its first FAS" — the Figure 1 scenario. *)
+
+val on_cell : pid:int -> cell:string -> occurrence:int -> point -> t
+(** Crash [pid] around its [occurrence]-th access to any cell named [cell]. *)
+
+val on_custom_note : pid:int -> tag:string -> occurrence:int -> point -> t
+(** Crash [pid] around its [occurrence]-th [Custom tag] note. *)
+
+val random : seed:int -> rate:float -> max_crashes:int -> ?pids:int list -> unit -> t
+(** Each instruction of an eligible process crashes with probability [rate]
+    (point chosen uniformly Before/After), until [max_crashes] crashes have
+    fired in total.  The budget keeps histories fair (finitely many crashes
+    per super-passage, as SF requires). *)
+
+val fas_gap :
+  seed:int -> rate:float -> max_crashes:int -> ?cell_suffix:string -> unit -> t
+(** Crash any process immediately after a FAS on a cell whose name ends with
+    [cell_suffix] (default ["filter.tail"]), with probability [rate] per
+    such FAS, up to [max_crashes] total — i.e. generate {e unsafe} failures
+    with respect to the filter locks.  This is the adversary of the
+    adaptivity experiments: the number of crashes fired is exactly the F of
+    Theorems 5.17–5.19. *)
+
+val async_at : (int * int) list -> t
+(** [async_at [(step, pid); ...]]: crash [pid] at the first engine iteration
+    whose global step is ≥ [step].  Reaches parked processes. *)
+
+val batch : step:int -> pids:int list -> t
+(** A batch failure (§7.1): all [pids] crash simultaneously at [step]. *)
+
+val every_nth_passage : pid:int -> period:int -> max_crashes:int -> t
+(** Crash [pid] just after the [Req_begin] of every [period]-th passage —
+    a steady per-process failure pulse used by the adaptivity sweeps. *)
+
+val all : t list -> t
+(** Union of plans; the first crash decision wins. *)

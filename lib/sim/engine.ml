@@ -1,0 +1,513 @@
+exception Crashed
+(* Raised into a fiber to simulate the loss of its private state. *)
+
+module Ctx = struct
+  type t = { mem : Memory.t; lock_names : string Vec.t }
+
+  let memory t = t.mem
+
+  let n t = Memory.n t.mem
+
+  let register_lock t name =
+    Vec.push t.lock_names name;
+    Vec.length t.lock_names - 1
+end
+
+type passage = { super : int; rmr : int; completed : bool; latency : int }
+
+type proc_stats = { passages : passage list; crashes : int; completed : int; max_level : int }
+
+type lock_stats = { lock_name : string; max_occupancy : int; unsafe_crashes : int }
+
+type result = {
+  steps : int;
+  total_rmr : int;
+  rmr_by_kind : (Api.kind * int) list;
+  total_crashes : int;
+  procs : proc_stats array;
+  locks : lock_stats array;
+  cs_max : int;
+  deadlocked : bool;
+  timed_out : bool;
+  events : Event.t list;
+}
+
+type status = Stopped | Suspended : 'a Api.view * ('a, status) Effect.Deep.continuation -> status
+
+type parked = { pk : (unit, status) Effect.Deep.continuation; pcell : Cell.t; pcond : Api.cond }
+
+type pstate = Start | Ready of status | Parked of parked | Woken of parked | Halted
+
+type t = {
+  mem : Memory.t;
+  n : int;
+  sched : Sched.t;
+  crash : Crash.t;
+  record : bool;
+  trace_ops : bool;
+  max_steps : int;
+  on_crash : pid:int -> step:int -> unit;
+  body : pid:int -> unit;
+  states : pstate array;
+  mutable step : int;
+  op_index : int array;
+  completed : int array;
+  crashes : int array;
+  unsafe_open : int list array;
+  holding : int list array;
+  in_passage : bool array;
+  in_app_cs : bool array;
+  passage_rmr : int array;
+  passage_super : int array;
+  passage_start : int array;
+  passages : passage Vec.t array;
+  level_max : int array;
+  occupancy : int array;
+  occupancy_max : int array;
+  unsafe_crashes : int array;
+  lock_names : string array;
+  parked_cells : (int, unit) Hashtbl.t;  (* cell ids with parked processes *)
+  events : Event.t Vec.t;
+  rmr_by_kind : int array;  (* indexed by a dense Api.kind code *)
+  mutable total_rmr : int;
+  mutable global_cs : int;
+  mutable global_cs_max : int;
+  mutable deadlocked : bool;
+  mutable timed_out : bool;
+}
+
+let record_event eng ev = if eng.record then Vec.push eng.events ev
+
+let handler : (unit, status) Effect.Deep.handler =
+  {
+    retc = (fun () -> Stopped);
+    exnc = (function Crashed -> Stopped | e -> raise e);
+    effc =
+      (fun (type c) (eff : c Effect.t) ->
+        match eff with
+        | Api.Instr view ->
+            Some (fun (k : (c, status) Effect.Deep.continuation) -> Suspended (view, k))
+        | _ -> None);
+  }
+
+let kind_code : Api.kind -> int = function
+  | Api.Read -> 0
+  | Api.Write -> 1
+  | Api.Cas -> 2
+  | Api.Fas -> 3
+  | Api.Faa -> 4
+  | Api.Spin -> 5
+  | Api.Note -> 6
+  | Api.Nop -> 7
+
+let kind_of_code = [| Api.Read; Api.Write; Api.Cas; Api.Fas; Api.Faa; Api.Spin; Api.Note; Api.Nop |]
+
+let charge ?(kind = Api.Read) eng pid rmr =
+  if rmr > 0 then begin
+    eng.total_rmr <- eng.total_rmr + rmr;
+    eng.rmr_by_kind.(kind_code kind) <- eng.rmr_by_kind.(kind_code kind) + rmr;
+    if eng.in_passage.(pid) then eng.passage_rmr.(pid) <- eng.passage_rmr.(pid) + rmr
+  end
+
+let close_passage eng pid ~completed =
+  if eng.in_passage.(pid) then begin
+    Vec.push eng.passages.(pid)
+      {
+        super = eng.passage_super.(pid);
+        rmr = eng.passage_rmr.(pid);
+        completed;
+        latency = eng.step - eng.passage_start.(pid);
+      };
+    eng.in_passage.(pid) <- false;
+    eng.passage_rmr.(pid) <- 0
+  end
+
+let enter_lock_cs eng pid id =
+  eng.holding.(pid) <- id :: eng.holding.(pid);
+  eng.occupancy.(id) <- eng.occupancy.(id) + 1;
+  if eng.occupancy.(id) > eng.occupancy_max.(id) then eng.occupancy_max.(id) <- eng.occupancy.(id)
+
+let leave_lock_cs eng pid id =
+  if List.mem id eng.holding.(pid) then begin
+    eng.holding.(pid) <- List.filter (fun x -> x <> id) eng.holding.(pid);
+    eng.occupancy.(id) <- eng.occupancy.(id) - 1
+  end
+
+let handle_note eng pid (n : Event.note) =
+  record_event eng (Event.Note { step = eng.step; pid; super = eng.completed.(pid); note = n });
+  match n with
+  | Seg Ncs_begin -> ()
+  | Seg Req_begin ->
+      (* A restart after a crash begins a new passage of the same
+         super-passage: the super id is the index of the pending request. *)
+      eng.in_passage.(pid) <- true;
+      eng.passage_super.(pid) <- eng.completed.(pid);
+      eng.passage_start.(pid) <- eng.step;
+      eng.passage_rmr.(pid) <- 0
+  | Seg Cs_begin ->
+      if not eng.in_app_cs.(pid) then begin
+        eng.in_app_cs.(pid) <- true;
+        eng.global_cs <- eng.global_cs + 1;
+        if eng.global_cs > eng.global_cs_max then eng.global_cs_max <- eng.global_cs
+      end
+  | Seg Cs_end ->
+      if eng.in_app_cs.(pid) then begin
+        eng.in_app_cs.(pid) <- false;
+        eng.global_cs <- eng.global_cs - 1
+      end
+  | Seg Req_done ->
+      eng.completed.(pid) <- eng.completed.(pid) + 1;
+      close_passage eng pid ~completed:true
+  | Lock_acquired id -> enter_lock_cs eng pid id
+  | Lock_release id -> leave_lock_cs eng pid id
+  | Level l -> if l > eng.level_max.(pid) then eng.level_max.(pid) <- l
+  | Lock_enter _ | Lock_released _ | Path _ | Custom _ -> ()
+
+let open_unsafe eng pid lock =
+  if not (List.mem lock eng.unsafe_open.(pid)) then
+    eng.unsafe_open.(pid) <- lock :: eng.unsafe_open.(pid)
+
+let close_unsafe eng pid lock =
+  eng.unsafe_open.(pid) <- List.filter (fun x -> x <> lock) eng.unsafe_open.(pid)
+
+(* Apply a non-spin instruction to shared memory, returning its result and
+   RMR cost.  Window bookkeeping happens here so that a crash injected
+   after the instruction sees the correct unsafe state. *)
+let apply_view : type a. t -> int -> a Api.view -> a * int =
+ fun eng pid view ->
+  let mem = eng.mem in
+  match view with
+  | Api.V_read c -> Memory.read mem ~pid c
+  | Api.V_write (c, v) -> ((), Memory.write mem ~pid c v)
+  | Api.V_cas (c, expect, value) -> Memory.cas mem ~pid c ~expect ~value
+  | Api.V_fas (c, v) -> Memory.fas mem ~pid c v
+  | Api.V_fas_open_unsafe (lock, c, v) ->
+      let r = Memory.fas mem ~pid c v in
+      open_unsafe eng pid lock;
+      r
+  | Api.V_write_close_unsafe (lock, c, v) ->
+      let m = Memory.write mem ~pid c v in
+      close_unsafe eng pid lock;
+      ((), m)
+  | Api.V_fas_persist (c, v, dst) ->
+      let old, m1 = Memory.fas mem ~pid c v in
+      let m2 = Memory.write mem ~pid dst old in
+      ((), m1 + m2)
+  | Api.V_faa (c, v) -> Memory.faa mem ~pid c v
+  | Api.V_note n ->
+      handle_note eng pid n;
+      ((), 0)
+  | Api.V_get_done -> (eng.completed.(pid), 0)
+  | Api.V_yield -> ((), 0)
+  | Api.V_spin _ -> assert false (* handled by [exec] *)
+
+let mutates : Api.kind -> bool = function
+  | Api.Write | Api.Cas | Api.Fas | Api.Faa -> true
+  | Api.Read | Api.Spin | Api.Note | Api.Nop -> false
+
+let wake_parked eng (c : Cell.t) =
+  if Hashtbl.mem eng.parked_cells c.id then begin
+    let still_parked = ref false in
+    for pid = 0 to eng.n - 1 do
+      match eng.states.(pid) with
+      | Parked p when Cell.equal p.pcell c ->
+          if Api.cond_holds p.pcond (Memory.peek eng.mem c) then eng.states.(pid) <- Woken p
+          else still_parked := true
+      | Parked _ | Start | Ready _ | Woken _ | Halted -> ()
+    done;
+    if not !still_parked then Hashtbl.remove eng.parked_cells c.id
+  end
+
+(* Record an *applied* instruction together with the cell contents after it
+   (for reads, the value read) — the data the replay checker feeds on. *)
+let record_op : type a. t -> int -> a Api.view -> unit =
+ fun eng pid view ->
+  if eng.trace_ops then begin
+    let emit ~kind (cell : Cell.t option) =
+      record_event eng
+        (Event.Op
+           {
+             step = eng.step;
+             pid;
+             kind;
+             cell = (match cell with Some c -> c.Cell.name | None -> "-");
+             value = (match cell with Some c -> Memory.peek eng.mem c | None -> 0);
+           })
+    in
+    emit ~kind:(Fmt.str "%a" Api.pp_kind (Api.kind_of_view view)) (Api.cell_of_view view);
+    (* fas_persist atomically touches a second cell; give it its own trace
+       entry so replay sees every mutation. *)
+    match view with
+    | Api.V_fas_persist (_, _, dst) -> emit ~kind:"write" (Some dst)
+    | _ -> ()
+  end
+
+let do_crash eng pid (kont : (unit -> unit) option) =
+  record_event eng
+    (Event.Crash
+       {
+         step = eng.step;
+         pid;
+         super = eng.completed.(pid);
+         unsafe_wrt = eng.unsafe_open.(pid);
+         holding = eng.holding.(pid);
+         in_passage = eng.in_passage.(pid);
+       });
+  eng.crashes.(pid) <- eng.crashes.(pid) + 1;
+  List.iter
+    (fun lock -> eng.unsafe_crashes.(lock) <- eng.unsafe_crashes.(lock) + 1)
+    eng.unsafe_open.(pid);
+  List.iter (fun lock -> leave_lock_cs eng pid lock) eng.holding.(pid);
+  if eng.in_app_cs.(pid) then begin
+    eng.in_app_cs.(pid) <- false;
+    eng.global_cs <- eng.global_cs - 1
+  end;
+  close_passage eng pid ~completed:false;
+  Memory.forget eng.mem ~pid;
+  eng.unsafe_open.(pid) <- [];
+  (match kont with Some discontinue -> discontinue () | None -> ());
+  eng.states.(pid) <- Start;
+  eng.on_crash ~pid ~step:eng.step
+
+let discontinue_of (type a) (k : (a, status) Effect.Deep.continuation) () =
+  match Effect.Deep.discontinue k Crashed with
+  | Stopped -> ()
+  | Suspended _ ->
+      (* The body swallowed [Crashed] and kept computing: forbidden. *)
+      failwith "Engine: process body must not catch the crash exception"
+
+let crash_now eng pid =
+  match eng.states.(pid) with
+  | Start -> do_crash eng pid None (* crash in NCS: nothing to discard *)
+  | Ready (Suspended (_, k)) -> do_crash eng pid (Some (discontinue_of k))
+  | Ready Stopped -> assert false
+  | Parked p | Woken p -> do_crash eng pid (Some (discontinue_of p.pk))
+  | Halted -> ()
+
+let absorb eng pid (st : status) =
+  match st with
+  | Stopped -> eng.states.(pid) <- Halted
+  | Suspended _ -> eng.states.(pid) <- Ready st
+
+let op_info : type a. t -> int -> a Api.view -> Crash.op_info =
+ fun eng pid view ->
+  let info =
+    {
+      Crash.pid;
+      step = eng.step;
+      op_index = eng.op_index.(pid);
+      kind = Api.kind_of_view view;
+      cell = (match Api.cell_of_view view with Some c -> Some c.Cell.name | None -> None);
+      note = (match view with Api.V_note n -> Some n | _ -> None);
+    }
+  in
+  eng.op_index.(pid) <- eng.op_index.(pid) + 1;
+  info
+
+let park eng pid (p : parked) =
+  eng.states.(pid) <- Parked p;
+  Hashtbl.replace eng.parked_cells p.pcell.Cell.id ()
+
+(* Execute the pending instruction of [pid]. *)
+let exec eng pid (st : status) =
+  match st with
+  | Stopped -> assert false
+  | Suspended (view, k) -> (
+      let info = op_info eng pid view in
+      match Crash.on_op eng.crash info with
+      | Crash Before -> do_crash eng pid (Some (discontinue_of k))
+      | (No_crash | Crash After) as decision -> (
+          match view with
+          | Api.V_spin (cell, cond) ->
+              let v, rmr = Memory.read eng.mem ~pid cell in
+              charge ~kind:Api.Spin eng pid rmr;
+              record_op eng pid view;
+              if decision = Crash After then do_crash eng pid (Some (discontinue_of k))
+              else if Api.cond_holds cond v then absorb eng pid (Effect.Deep.continue k ())
+              else park eng pid { pk = k; pcell = cell; pcond = cond }
+          | _ ->
+              let res, rmr = apply_view eng pid view in
+              charge ~kind:(Api.kind_of_view view) eng pid rmr;
+              record_op eng pid view;
+              (match Api.cell_of_view view with
+              | Some c when mutates (Api.kind_of_view view) -> wake_parked eng c
+              | Some _ | None -> ());
+              if decision = Crash After then do_crash eng pid (Some (discontinue_of k))
+              else absorb eng pid (Effect.Deep.continue k res)))
+
+let step_process eng pid =
+  match eng.states.(pid) with
+  | Start ->
+      let body = eng.body in
+      absorb eng pid (Effect.Deep.match_with (fun () -> body ~pid) () handler)
+  | Ready st -> exec eng pid st
+  | Woken p ->
+      let v, rmr = Memory.read eng.mem ~pid p.pcell in
+      charge ~kind:Api.Spin eng pid rmr;
+      if Api.cond_holds p.pcond v then absorb eng pid (Effect.Deep.continue p.pk ())
+      else park eng pid p
+  | Parked _ | Halted -> assert false
+
+let runnable eng =
+  let out = ref [] in
+  for pid = eng.n - 1 downto 0 do
+    match eng.states.(pid) with
+    | Start | Ready _ | Woken _ -> out := pid :: !out
+    | Parked _ | Halted -> ()
+  done;
+  Array.of_list !out
+
+let finish eng =
+  let procs =
+    Array.init eng.n (fun pid ->
+        {
+          passages = Vec.to_list eng.passages.(pid);
+          crashes = eng.crashes.(pid);
+          completed = eng.completed.(pid);
+          max_level = eng.level_max.(pid);
+        })
+  in
+  let locks =
+    Array.init (Array.length eng.lock_names) (fun id ->
+        {
+          lock_name = eng.lock_names.(id);
+          max_occupancy = eng.occupancy_max.(id);
+          unsafe_crashes = eng.unsafe_crashes.(id);
+        })
+  in
+  {
+    steps = eng.step;
+    total_rmr = eng.total_rmr;
+    rmr_by_kind =
+      List.filter
+        (fun (_, v) -> v > 0)
+        (Array.to_list (Array.mapi (fun i v -> (kind_of_code.(i), v)) eng.rmr_by_kind));
+    total_crashes = Array.fold_left ( + ) 0 eng.crashes;
+    procs;
+    locks;
+    cs_max = eng.global_cs_max;
+    deadlocked = eng.deadlocked;
+    timed_out = eng.timed_out;
+    events = Vec.to_list eng.events;
+  }
+
+let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000)
+    ?(on_crash = fun ~pid:_ ~step:_ -> ()) ~n ~model ~sched ~crash ~setup ~body () =
+  let mem = Memory.create model ~n in
+  let ctx = { Ctx.mem; lock_names = Vec.create () } in
+  let shared = setup ctx in
+  let nlocks = Vec.length ctx.lock_names in
+  let eng =
+    {
+      mem;
+      n;
+      sched;
+      crash;
+      record = record || trace_ops;
+      trace_ops;
+      max_steps;
+      on_crash;
+      body = (fun ~pid -> body shared ~pid);
+      states = Array.make n Start;
+      step = 0;
+      op_index = Array.make n 0;
+      completed = Array.make n 0;
+      crashes = Array.make n 0;
+      unsafe_open = Array.make n [];
+      holding = Array.make n [];
+      in_passage = Array.make n false;
+      in_app_cs = Array.make n false;
+      passage_rmr = Array.make n 0;
+      passage_super = Array.make n 0;
+      passage_start = Array.make n 0;
+      passages = Array.init n (fun _ -> Vec.create ());
+      level_max = Array.make n 0;
+      occupancy = Array.make nlocks 0;
+      occupancy_max = Array.make nlocks 0;
+      unsafe_crashes = Array.make nlocks 0;
+      lock_names = Vec.to_array ctx.lock_names;
+      parked_cells = Hashtbl.create 64;
+      events = Vec.create ();
+      rmr_by_kind = Array.make 8 0;
+      total_rmr = 0;
+      global_cs = 0;
+      global_cs_max = 0;
+      deadlocked = false;
+      timed_out = false;
+    }
+  in
+  let rec loop () =
+    List.iter (crash_now eng) (Crash.async eng.crash ~step:eng.step);
+    let ready = runnable eng in
+    if Array.length ready = 0 then begin
+      let any_parked =
+        Array.exists (function Parked _ -> true | Start | Ready _ | Woken _ | Halted -> false) eng.states
+      in
+      if any_parked then eng.deadlocked <- true
+      (* else: all halted — normal termination *)
+    end
+    else if eng.step >= eng.max_steps then eng.timed_out <- true
+    else begin
+      let pid = Sched.pick eng.sched ~runnable:ready ~step:eng.step in
+      step_process eng pid;
+      eng.step <- eng.step + 1;
+      loop ()
+    end
+  in
+  loop ();
+  finish eng
+
+let all_passages res = Array.to_list res.procs |> List.concat_map (fun (p : proc_stats) -> p.passages)
+
+let completed_passages res = List.filter (fun (p : passage) -> p.completed) (all_passages res)
+
+let max_rmr res = List.fold_left (fun acc (p : passage) -> max acc p.rmr) 0 (all_passages res)
+
+let super_totals res =
+  Array.to_list res.procs
+  |> List.concat_map (fun (proc : proc_stats) ->
+         let tbl = Hashtbl.create 16 in
+         List.iter
+           (fun (p : passage) ->
+             let cur = try Hashtbl.find tbl p.super with Not_found -> 0 in
+             Hashtbl.replace tbl p.super (cur + p.rmr))
+           proc.passages;
+         Hashtbl.fold (fun _ v acc -> v :: acc) tbl [])
+
+let max_rmr_super res = List.fold_left max 0 (super_totals res)
+
+let avg_rmr res =
+  let ps = all_passages res in
+  if ps = [] then 0.0
+  else float_of_int (List.fold_left (fun acc (p : passage) -> acc + p.rmr) 0 ps) /. float_of_int (List.length ps)
+
+let avg_rmr_super res =
+  let ts = super_totals res in
+  if ts = [] then 0.0
+  else float_of_int (List.fold_left ( + ) 0 ts) /. float_of_int (List.length ts)
+
+let total_completed res = Array.fold_left (fun acc (p : proc_stats) -> acc + p.completed) 0 res.procs
+
+let latencies res =
+  completed_passages res |> List.map (fun (p : passage) -> p.latency) |> List.sort compare
+
+let percentile sorted q =
+  match sorted with
+  | [] -> 0
+  | _ ->
+      let len = List.length sorted in
+      let ix = int_of_float (q *. float_of_int (len - 1)) in
+      List.nth sorted (min (len - 1) (max 0 ix))
+
+let pp_summary ppf res =
+  Fmt.pf ppf
+    "@[<v>steps=%d rmr=%d crashes=%d completed=%d cs_max=%d deadlocked=%b timed_out=%b@,%a@]"
+    res.steps res.total_rmr res.total_crashes (total_completed res) res.cs_max res.deadlocked
+    res.timed_out
+    Fmt.(
+      list ~sep:cut (fun ppf (l : lock_stats) ->
+          pf ppf "lock %-20s max_occupancy=%d unsafe_crashes=%d" l.lock_name l.max_occupancy
+            l.unsafe_crashes))
+    (List.filter
+       (fun (l : lock_stats) -> l.max_occupancy > 0 || l.unsafe_crashes > 0)
+       (Array.to_list res.locks))

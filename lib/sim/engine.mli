@@ -1,0 +1,112 @@
+(** The simulation engine.
+
+    Runs [n] simulated processes over a shared {!Memory.t}.  Each process is
+    an OCaml computation performing the effects of {!Api}; the engine
+    suspends it at every shared-memory instruction, lets the configured
+    {!Sched.t} pick who steps next, applies the instruction, charges RMRs,
+    and consults the {!Crash.t} plan to inject failures immediately before
+    or after the instruction.  A crash discards the process's continuation
+    (private state, program counter — §2.2 of the paper) and restarts its
+    body from scratch; shared memory persists.
+
+    Local-spin waits ({!Api.spin_until}) park the process; a write to the
+    awaited cell wakes it, charging one re-fetch, so busy-waiting costs O(1)
+    RMRs per handoff as in the paper's model. *)
+
+(** Registration context handed to [setup]. *)
+module Ctx : sig
+  type t
+
+  val memory : t -> Memory.t
+
+  val n : t -> int
+
+  val register_lock : t -> string -> int
+  (** Registers a lock instance and returns its id, used in {!Event.note}
+      milestones and per-lock statistics.  Call during [setup] only. *)
+end
+
+type passage = { super : int; rmr : int; completed : bool; latency : int }
+(** One passage: [super] identifies the super-passage it belongs to (the
+    index of the request being worked on), [rmr] the remote references it
+    incurred, [completed] whether it ended with a satisfied request rather
+    than a crash, [latency] its span in global engine steps (a fairness /
+    waiting-time measure under contention). *)
+
+type proc_stats = {
+  passages : passage list;  (** in execution order *)
+  crashes : int;
+  completed : int;  (** satisfied requests *)
+  max_level : int;  (** highest BA-Lock level reported via [Level] notes *)
+}
+
+type lock_stats = {
+  lock_name : string;
+  max_occupancy : int;  (** max simultaneous holders observed *)
+  unsafe_crashes : int;  (** crashes inside this lock's sensitive window *)
+}
+
+type result = {
+  steps : int;
+  total_rmr : int;
+  rmr_by_kind : (Api.kind * int) list;
+      (** where the remote references came from: plain reads, writes, CAS,
+          FAS, FAA, or spin fetches (the initial fetch and post-wake
+          refetches of local-spin waits) *)
+  total_crashes : int;
+  procs : proc_stats array;
+  locks : lock_stats array;
+  cs_max : int;  (** max simultaneous occupancy of the application CS *)
+  deadlocked : bool;
+  timed_out : bool;
+  events : Event.t list;  (** [[]] unless [record] *)
+}
+
+val run :
+  ?record:bool ->
+  ?trace_ops:bool ->
+  ?max_steps:int ->
+  ?on_crash:(pid:int -> step:int -> unit) ->
+  n:int ->
+  model:Memory.model ->
+  sched:Sched.t ->
+  crash:Crash.t ->
+  setup:(Ctx.t -> 'a) ->
+  body:('a -> pid:int -> unit) ->
+  unit ->
+  result
+(** [run ~n ~model ~sched ~crash ~setup ~body ()] builds a store, calls
+    [setup] once (lock construction; no RMR accounting), then runs
+    [body shared ~pid] for every pid until all bodies return, a deadlock is
+    detected (every live process parked), or [max_steps] (default 5e6)
+    elapses.  [record] keeps the event history; [trace_ops] additionally
+    records every instruction (expensive — tests only). *)
+
+(** {1 Result helpers} *)
+
+val completed_passages : result -> passage list
+(** All failure-free passages, across processes. *)
+
+val max_rmr : result -> int
+(** Largest RMR count over {e all} passages (a crashed passage's partial
+    cost counts: the paper charges RMRs per passage including those ended
+    by failures). *)
+
+val max_rmr_super : result -> int
+(** Largest total RMR count of a super-passage (all its passages summed). *)
+
+val avg_rmr : result -> float
+(** Mean RMRs per passage over all passages. *)
+
+val avg_rmr_super : result -> float
+(** Mean RMRs per super-passage (total RMRs / satisfied requests). *)
+
+val total_completed : result -> int
+
+val latencies : result -> int list
+(** Sorted step-latencies of the completed passages. *)
+
+val percentile : int list -> float -> int
+(** [percentile sorted q] with [q] ∈ [0, 1] over a sorted list. *)
+
+val pp_summary : result Fmt.t

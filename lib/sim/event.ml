@@ -1,0 +1,55 @@
+type seg = Ncs_begin | Req_begin | Cs_begin | Cs_end | Req_done
+
+type note =
+  | Seg of seg
+  | Lock_enter of int
+  | Lock_acquired of int
+  | Lock_release of int
+  | Lock_released of int
+  | Level of int
+  | Path of int * bool
+  | Custom of string
+
+type t =
+  | Note of { step : int; pid : int; super : int; note : note }
+  | Crash of {
+      step : int;
+      pid : int;
+      super : int;
+      unsafe_wrt : int list;
+      holding : int list;
+      in_passage : bool;
+    }
+  | Op of { step : int; pid : int; kind : string; cell : string; value : int }
+
+let pp_seg ppf = function
+  | Ncs_begin -> Fmt.string ppf "ncs"
+  | Req_begin -> Fmt.string ppf "req-begin"
+  | Cs_begin -> Fmt.string ppf "cs-begin"
+  | Cs_end -> Fmt.string ppf "cs-end"
+  | Req_done -> Fmt.string ppf "req-done"
+
+let pp_note ppf = function
+  | Seg s -> pp_seg ppf s
+  | Lock_enter id -> Fmt.pf ppf "lock[%d].enter" id
+  | Lock_acquired id -> Fmt.pf ppf "lock[%d].acquired" id
+  | Lock_release id -> Fmt.pf ppf "lock[%d].release" id
+  | Lock_released id -> Fmt.pf ppf "lock[%d].released" id
+  | Level l -> Fmt.pf ppf "level=%d" l
+  | Path (l, fast) -> Fmt.pf ppf "path[%d]=%s" l (if fast then "fast" else "slow")
+  | Custom s -> Fmt.string ppf s
+
+let pp ppf = function
+  | Note { step; pid; super; note } -> Fmt.pf ppf "@[%6d p%d/%d %a@]" step pid super pp_note note
+  | Crash { step; pid; super; unsafe_wrt; holding; in_passage } ->
+      Fmt.pf ppf "@[%6d p%d/%d CRASH unsafe=%a holding=%a%s@]" step pid super
+        Fmt.(Dump.list int)
+        unsafe_wrt
+        Fmt.(Dump.list int)
+        holding
+        (if in_passage then " (in passage)" else "")
+  | Op { step; pid; kind; cell; value } -> Fmt.pf ppf "@[%6d p%d %s %s =%d@]" step pid kind cell value
+
+let step = function Note { step; _ } -> step | Crash { step; _ } -> step | Op { step; _ } -> step
+
+let pid = function Note { pid; _ } -> pid | Crash { pid; _ } -> pid | Op { pid; _ } -> pid

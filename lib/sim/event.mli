@@ -1,0 +1,50 @@
+(** Execution-history events.
+
+    When history recording is enabled the engine appends one event per
+    noteworthy occurrence: segment transitions of the standard process loop
+    (Algorithm 1 of the paper), per-lock milestones emitted by lock
+    implementations, and crashes.  The offline property checkers
+    ({!module:Rme_check.Props} in [lib/check]) consume these. *)
+
+(** Segment transitions of the Algorithm-1 loop, emitted by the harness. *)
+type seg =
+  | Ncs_begin  (** process entered its non-critical section *)
+  | Req_begin  (** passage start: Recover segment entered *)
+  | Cs_begin   (** process entered the (application) critical section *)
+  | Cs_end     (** process left the critical section *)
+  | Req_done   (** failure-free passage completed: request satisfied *)
+
+type note =
+  | Seg of seg
+  | Lock_enter of int  (** lock [id]: Recover/Enter of this lock begins *)
+  | Lock_acquired of int  (** lock [id]: holder enters the lock's CS *)
+  | Lock_release of int  (** lock [id]: Exit segment begins *)
+  | Lock_released of int  (** lock [id]: Exit segment completed *)
+  | Level of int  (** BA-Lock: the process starts competing at this level *)
+  | Path of int * bool  (** BA-Lock/SA-Lock: level, [true] = fast path *)
+  | Custom of string
+
+type t =
+  | Note of { step : int; pid : int; super : int; note : note }
+  | Crash of {
+      step : int;
+      pid : int;
+      super : int;  (** index of the super-passage the crash interrupts *)
+      unsafe_wrt : int list;  (** weakly recoverable locks whose sensitive window was open *)
+      holding : int list;  (** locks whose CS the process occupied *)
+      in_passage : bool;
+    }
+  | Op of { step : int; pid : int; kind : string; cell : string; value : int }
+      (** one applied shared-memory instruction and the cell contents after
+          it (the value read, for reads); recorded only under [trace_ops].
+          Instructions suppressed by a crash-before are not recorded. *)
+
+val pp_seg : seg Fmt.t
+
+val pp_note : note Fmt.t
+
+val pp : t Fmt.t
+
+val step : t -> int
+
+val pid : t -> int

@@ -1,0 +1,27 @@
+type lock = { name : string; acquire : pid:int -> unit; release : pid:int -> unit }
+
+let standard_body ?(cs = fun ~pid:_ -> ()) ?(ncs = fun ~pid:_ -> ()) ~lock ~requests pid =
+  while Api.completed_requests () < requests do
+    Api.note (Event.Seg Event.Ncs_begin);
+    ncs ~pid;
+    Api.note (Event.Seg Event.Req_begin);
+    lock.acquire ~pid;
+    Api.note (Event.Seg Event.Cs_begin);
+    cs ~pid;
+    Api.note (Event.Seg Event.Cs_end);
+    lock.release ~pid;
+    Api.note (Event.Seg Event.Req_done)
+  done
+
+let run_lock ?record ?trace_ops ?max_steps ?on_crash ?cs ?ncs ~n ~model ~sched ~crash ~requests
+    ~make () =
+  Engine.run ?record ?trace_ops ?max_steps ?on_crash ~n ~model ~sched ~crash ~setup:make
+    ~body:(fun lock ~pid -> standard_body ?cs ?ncs ~lock ~requests pid)
+    ()
+
+let counter_cell ctx = Memory.alloc (Engine.Ctx.memory ctx) ~name:"harness.counter" 0
+
+let racy_increment cell ~pid:_ =
+  let v = Api.read cell in
+  Api.yield ();
+  Api.write cell (v + 1)

@@ -1,0 +1,49 @@
+(** The standard process-execution loop (Algorithm 1 of the paper).
+
+    A process repeatedly executes NCS, Recover, Enter, CS, Exit.  Locks are
+    presented to the harness as a record of closures so that composite locks
+    (SA-Lock, BA-Lock) compose at the value level; [acquire] covers the
+    Recover and Enter segments, [release] the Exit segment.
+
+    On a crash the engine restarts the whole body; the loop then consults
+    {!Api.completed_requests} (recoverable application state) and resumes
+    the interrupted super-passage, exactly as §2.3 prescribes. *)
+
+type lock = { name : string; acquire : pid:int -> unit; release : pid:int -> unit }
+
+val standard_body :
+  ?cs:(pid:int -> unit) ->
+  ?ncs:(pid:int -> unit) ->
+  lock:lock ->
+  requests:int ->
+  int ->
+  unit
+(** [standard_body ~lock ~requests pid] is the Algorithm-1 loop, performing [requests] satisfied requests.  [cs]
+    and [ncs] default to no-ops; both may perform {!Api} effects. *)
+
+val run_lock :
+  ?record:bool ->
+  ?trace_ops:bool ->
+  ?max_steps:int ->
+  ?on_crash:(pid:int -> step:int -> unit) ->
+  ?cs:(pid:int -> unit) ->
+  ?ncs:(pid:int -> unit) ->
+  n:int ->
+  model:Memory.model ->
+  sched:Sched.t ->
+  crash:Crash.t ->
+  requests:int ->
+  make:(Engine.Ctx.t -> lock) ->
+  unit ->
+  Engine.result
+(** Build a lock with [make] and drive all [n] processes through
+    [standard_body] for [requests] requests each. *)
+
+val counter_cell : Engine.Ctx.t -> Cell.t
+(** A scratch cell for {!racy_increment}. *)
+
+val racy_increment : Cell.t -> pid:int -> unit
+(** A deliberately non-atomic read-then-write increment.  In a crash-free
+    run protected by a correct mutex the final contents equal the number of
+    critical sections executed; lost updates witness a mutual-exclusion
+    violation. *)

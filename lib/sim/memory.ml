@@ -1,0 +1,138 @@
+type model = CC | DSM
+
+let pp_model ppf = function
+  | CC -> Fmt.string ppf "CC"
+  | DSM -> Fmt.string ppf "DSM"
+
+let model_of_string s =
+  match String.lowercase_ascii s with
+  | "cc" -> Some CC
+  | "dsm" -> Some DSM
+  | _ -> None
+
+type t = {
+  model : model;
+  n : int;
+  contents : int Vec.t;
+  version : int Vec.t;
+  (* [cached] holds, per cell, the version each process last fetched (the
+     line is valid iff it equals the current version).  Rows are allocated
+     lazily on a cell's first accounted access: large lock structures whose
+     deep parts are never touched (e.g. the base levels of BA-Lock in a
+     failure-free run) cost nothing.  Only used under CC. *)
+  cached : int array option Vec.t;
+  names : string Vec.t;
+  homes : int Vec.t;
+}
+
+let create model ~n =
+  if n <= 0 then invalid_arg "Memory.create: n must be positive";
+  {
+    model;
+    n;
+    contents = Vec.create ();
+    version = Vec.create ();
+    cached = Vec.create ();
+    names = Vec.create ();
+    homes = Vec.create ();
+  }
+
+let model t = t.model
+
+let n t = t.n
+
+let alloc t ?(home = Cell.global) ~name v =
+  if home <> Cell.global && (home < 0 || home >= t.n) then
+    invalid_arg (Printf.sprintf "Memory.alloc %s: home %d out of range" name home);
+  let id = Vec.length t.contents in
+  Vec.push t.contents v;
+  Vec.push t.version 0;
+  Vec.push t.names name;
+  Vec.push t.homes home;
+  Vec.push t.cached None;
+  Cell.make ~id ~name ~home
+
+let cell_count t = Vec.length t.contents
+
+let peek t (c : Cell.t) = Vec.get t.contents c.id
+
+let poke t (c : Cell.t) v =
+  Vec.set t.contents c.id v;
+  Vec.set t.version c.id (Vec.get t.version c.id + 1)
+
+let check_pid t pid =
+  if pid < 0 || pid >= t.n then invalid_arg (Printf.sprintf "Memory: pid %d out of range" pid)
+
+(* RMR cost of touching [c] from [pid] under DSM. *)
+let dsm_cost (c : Cell.t) pid = if c.home = pid then 0 else 1
+
+(* A fresh row means "cached by nobody": version 0 vs stored -1. *)
+let row t (c : Cell.t) =
+  match Vec.get t.cached c.id with
+  | Some r -> r
+  | None ->
+      let r = Array.make t.n (-1) in
+      Vec.set t.cached c.id (Some r);
+      r
+
+let forget t ~pid =
+  check_pid t pid;
+  if t.model = CC then
+    for cell = 0 to Vec.length t.cached - 1 do
+      match Vec.get t.cached cell with Some r -> r.(pid) <- -1 | None -> ()
+    done
+
+let read t ~pid (c : Cell.t) =
+  check_pid t pid;
+  let v = Vec.get t.contents c.id in
+  match t.model with
+  | DSM -> (v, dsm_cost c pid)
+  | CC ->
+      let r = row t c in
+      let ver = Vec.get t.version c.id in
+      if r.(pid) = ver then (v, 0)
+      else begin
+        r.(pid) <- ver;
+        (v, 1)
+      end
+
+(* A mutation bumps the version (invalidating every cached copy) and leaves
+   the writer's cache holding the fresh value. *)
+let mutate t ~pid (c : Cell.t) v =
+  Vec.set t.contents c.id v;
+  let ver = Vec.get t.version c.id + 1 in
+  Vec.set t.version c.id ver;
+  if t.model = CC then (row t c).(pid) <- ver
+
+let write_cost t ~pid (c : Cell.t) = match t.model with CC -> 1 | DSM -> dsm_cost c pid
+
+let write t ~pid (c : Cell.t) v =
+  check_pid t pid;
+  mutate t ~pid c v;
+  write_cost t ~pid c
+
+let cas t ~pid (c : Cell.t) ~expect ~value =
+  check_pid t pid;
+  let old = Vec.get t.contents c.id in
+  let cost = write_cost t ~pid c in
+  if old = expect then begin
+    mutate t ~pid c value;
+    (true, cost)
+  end
+  else begin
+    (* A failed CAS still fetched the line. *)
+    if t.model = CC then (row t c).(pid) <- Vec.get t.version c.id;
+    (false, cost)
+  end
+
+let fas t ~pid (c : Cell.t) v =
+  check_pid t pid;
+  let old = Vec.get t.contents c.id in
+  mutate t ~pid c v;
+  (old, write_cost t ~pid c)
+
+let faa t ~pid (c : Cell.t) d =
+  check_pid t pid;
+  let old = Vec.get t.contents c.id in
+  mutate t ~pid c (old + d);
+  (old, write_cost t ~pid c)

@@ -1,0 +1,67 @@
+(** Simulated shared memory with RMR accounting.
+
+    The store maps cells to integer contents and implements the atomic
+    instructions of the paper's model (read, write, CAS, FAS — §2.6 — plus
+    fetch-and-add for auxiliary counters).  Every operation returns the
+    number of remote memory references it incurred under the configured
+    memory model (§2.5):
+
+    - {b CC}: a central memory plus per-process caches.  A read hits the
+      cache unless the cell was written since the process last fetched it;
+      a miss costs one RMR and refreshes the cache.  Writes, CAS and FAS go
+      to the central memory (one RMR each) and invalidate the other
+      processes' cached copies.
+    - {b DSM}: each cell lives on its home node; an operation costs one RMR
+      iff the executing process is not the home.
+
+    Contents persist across simulated crashes — this is the NVRAM
+    assumption of the paper's failure model (§2.2). *)
+
+type model = CC | DSM
+
+val pp_model : model Fmt.t
+
+val model_of_string : string -> model option
+
+type t
+
+val create : model -> n:int -> t
+(** [create model ~n] is an empty store for [n] processes. *)
+
+val model : t -> model
+
+val n : t -> int
+
+val alloc : t -> ?home:int -> name:string -> int -> Cell.t
+(** [alloc t ~home ~name v] allocates a fresh cell with initial contents [v].
+    [home] defaults to {!Cell.global}.  Allocation happens during lock
+    construction (outside any simulated execution) and costs no RMRs. *)
+
+val cell_count : t -> int
+
+val peek : t -> Cell.t -> int
+(** [peek t c] reads [c] without any accounting — for checkers, printers and
+    tests, never for algorithm steps. *)
+
+val poke : t -> Cell.t -> int -> unit
+(** [poke t c v] writes [c] without accounting (test setup only). *)
+
+val forget : t -> pid:int -> unit
+(** [forget t ~pid] drops every cache line of [pid] — called by the engine
+    when the process crashes, since a restart begins with a cold cache. *)
+
+(** {1 Accounted operations}
+
+    Each returns [(result, rmrs)] where [rmrs] ∈ {0, 1}. *)
+
+val read : t -> pid:int -> Cell.t -> int * int
+
+val write : t -> pid:int -> Cell.t -> int -> int
+(** Returns the RMR count. *)
+
+val cas : t -> pid:int -> Cell.t -> expect:int -> value:int -> bool * int
+
+val fas : t -> pid:int -> Cell.t -> int -> int * int
+
+val faa : t -> pid:int -> Cell.t -> int -> int * int
+(** Fetch-and-add; returns the previous contents. *)

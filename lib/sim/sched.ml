@@ -1,0 +1,81 @@
+type t = { label : string; pick : runnable:int array -> step:int -> int }
+
+let label t = t.label
+
+let pick t ~runnable ~step =
+  if Array.length runnable = 0 then invalid_arg "Sched.pick: empty runnable set";
+  t.pick ~runnable ~step
+
+let round_robin () =
+  let cursor = ref 0 in
+  {
+    label = "round-robin";
+    pick =
+      (fun ~runnable ~step:_ ->
+        (* Smallest runnable pid strictly greater than the cursor, wrapping. *)
+        let best = ref (-1) in
+        let smallest = ref runnable.(0) in
+        Array.iter
+          (fun p ->
+            if p < !smallest then smallest := p;
+            if p > !cursor && (!best = -1 || p < !best) then best := p)
+          runnable;
+        let chosen = if !best = -1 then !smallest else !best in
+        cursor := chosen;
+        chosen);
+  }
+
+let random ~seed =
+  let rng = Random.State.make [| seed; 0xfa1afe1 |] in
+  {
+    label = Printf.sprintf "random(%d)" seed;
+    pick = (fun ~runnable ~step:_ -> runnable.(Random.State.int rng (Array.length runnable)));
+  }
+
+let greedy () =
+  let last = ref (-1) in
+  {
+    label = "greedy";
+    pick =
+      (fun ~runnable ~step:_ ->
+        if Array.exists (fun p -> p = !last) runnable then !last
+        else begin
+          let m = Array.fold_left min runnable.(0) runnable in
+          last := m;
+          m
+        end);
+  }
+
+let burst ~seed ~len =
+  if len <= 0 then invalid_arg "Sched.burst: len must be positive";
+  let rng = Random.State.make [| seed; 0xb025 |] in
+  let current = ref (-1) in
+  let remaining = ref 0 in
+  {
+    label = Printf.sprintf "burst(%d,%d)" seed len;
+    pick =
+      (fun ~runnable ~step:_ ->
+        if !remaining > 0 && Array.exists (fun p -> p = !current) runnable then begin
+          decr remaining;
+          !current
+        end
+        else begin
+          current := runnable.(Random.State.int rng (Array.length runnable));
+          remaining := len - 1;
+          !current
+        end);
+  }
+
+let trace ~decisions ~record =
+  let i = ref 0 in
+  {
+    label = "trace";
+    pick =
+      (fun ~runnable ~step:_ ->
+        let sorted = Array.copy runnable in
+        Array.sort compare sorted;
+        let choice = if !i < Vec.length decisions then Vec.get decisions !i else 0 in
+        incr i;
+        Vec.push record (Array.length sorted);
+        sorted.(choice mod Array.length sorted));
+  }

@@ -1,0 +1,33 @@
+(** Schedulers: who takes the next step.
+
+    Processes run at arbitrary speeds and interleave arbitrarily (§2.1); the
+    scheduler is the adversary that chooses the interleaving.  All
+    schedulers here are fair over runnable processes, as the starvation-
+    freedom property requires of fair histories. *)
+
+type t
+
+val label : t -> string
+
+val pick : t -> runnable:int array -> step:int -> int
+(** [pick t ~runnable ~step] chooses one pid from [runnable] (non-empty). *)
+
+val round_robin : unit -> t
+(** Cycles through the processes in pid order. *)
+
+val random : seed:int -> t
+(** Uniform choice among runnable processes (fair with probability 1). *)
+
+val greedy : unit -> t
+(** Runs the lowest runnable pid until it blocks — an extreme (still fair in
+    bounded runs) schedule that maximises solo bursts. *)
+
+val burst : seed:int -> len:int -> t
+(** Runs a randomly chosen process for up to [len] consecutive steps before
+    switching — a convoy-forming adversary that stresses hand-off paths. *)
+
+val trace : decisions:int Vec.t -> record:int Vec.t -> t
+(** Replay scheduler for the bounded explorer: the [i]-th pick takes
+    [decisions.(i)] as an index into the sorted runnable set (0 when the
+    trace is exhausted) and appends the size of the runnable set to
+    [record], letting the explorer enumerate sibling branches. *)

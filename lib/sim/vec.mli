@@ -1,0 +1,50 @@
+(** Growable arrays.
+
+    The standard library of OCaml 5.1 does not provide [Dynarray] yet, so the
+    simulator carries its own minimal growable-array module.  Elements are
+    stored contiguously; [push] is amortised O(1). *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is an empty vector. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** [push t x] appends [x] at the end of [t]. *)
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the [i]-th element.  @raise Invalid_argument when out of
+    bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** [set t i x] replaces the [i]-th element.  @raise Invalid_argument when out
+    of bounds. *)
+
+val last : 'a t -> 'a
+(** [last t] is the most recently pushed element.  @raise Invalid_argument on
+    an empty vector. *)
+
+val pop : 'a t -> 'a
+(** [pop t] removes and returns the last element.  @raise Invalid_argument on
+    an empty vector. *)
+
+val clear : 'a t -> unit
+(** [clear t] removes all elements (O(1); storage is retained). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val to_list : 'a t -> 'a list
+
+val to_array : 'a t -> 'a array
+
+val of_list : 'a list -> 'a t

@@ -1,0 +1,112 @@
+(* RMR-bound contracts: every registered lock declares a concrete upper
+   bound on its worst failure-free passage RMRs under CC, as a function of
+   n.  This test drives every spec across process counts and schedules and
+   fails if any passage exceeds its contract — the paper's asymptotic rows
+   turned into falsifiable regressions. *)
+
+open Rme_sim
+
+let check = Alcotest.check
+
+let cb = Alcotest.bool
+
+let drive (spec : Rme.Spec.t) ~n ~seed =
+  let cfg =
+    {
+      Rme.Workload.default_cfg with
+      n;
+      requests = 5;
+      seed;
+      cs_yields = 3;
+      scenario = Rme.Workload.No_failures;
+    }
+  in
+  Rme.Workload.run spec cfg
+
+let test_contract (spec : Rme.Spec.t) () =
+  match spec.ff_bound with
+  | None -> ()
+  | Some bound ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun seed ->
+              let res = drive spec ~n ~seed in
+              check cb
+                (Printf.sprintf "%s n=%d completes" spec.key n)
+                true
+                (Engine.total_completed res = n * 5);
+              let worst = Engine.max_rmr res in
+              check cb
+                (Printf.sprintf "%s n=%d seed=%d: %d RMRs within contract %d" spec.key n seed
+                   worst (bound n))
+                true
+                (worst <= bound n))
+            [ 1; 2; 3 ])
+        [ 1; 2; 4; 8; 16; 32 ]
+
+let test_contracts_are_tight () =
+  (* Guard against vacuous contracts: at n = 16 the measured worst passage
+     must reach at least a third of the declared bound for every lock —
+     otherwise the bound has drifted and should be re-frozen. *)
+  List.iter
+    (fun (spec : Rme.Spec.t) ->
+      match spec.ff_bound with
+      | None -> ()
+      | Some bound ->
+          let res = drive spec ~n:16 ~seed:1 in
+          let worst = Engine.max_rmr res in
+          check cb
+            (Printf.sprintf "%s: bound %d not vacuous (measured %d)" spec.key (bound 16) worst)
+            true
+            (3 * worst >= bound 16))
+    Rme.Spec.all
+
+(* The paper's headline Table-2 row, pinned as a regression: the measured
+   growth curves must classify ba-jjj as super-adaptive and well-bounded,
+   and sa-bakery as semi-adaptive (reduced-size sweeps; the bench runs the
+   full ones). *)
+let test_headline_classification () =
+  let ns = [ 4; 16; 64 ] and fs = [ 4; 16; 64 ] in
+  let m key cfg = (Rme.Workload.measure (Rme.Workload.run_key key cfg)).Rme.Workload.max_rmr in
+  let base n scenario =
+    { Rme.Workload.default_cfg with n; requests = 10; seed = 2; cs_yields = 6; scenario }
+  in
+  let curves key =
+    let ff = List.map (fun n -> (float_of_int n, m key (base n Rme.Workload.No_failures))) ns in
+    let vf =
+      List.map
+        (fun f -> (float_of_int f, m key (base 32 (Rme.Workload.Fas_storm { f; rate = 0.4 }))))
+        fs
+    in
+    let lim =
+      List.map
+        (fun n -> (float_of_int n, m key (base n (Rme.Workload.Fas_storm { f = 4; rate = 0.4 }))))
+        ns
+    in
+    let arb =
+      List.map
+        (fun n -> (float_of_int n, m key (base n (Rme.Workload.Fas_storm { f = 64; rate = 0.4 }))))
+        ns
+    in
+    Rme.Report.classify_lock ~failure_free_vs_n:ff ~rmr_vs_f:vf ~limited_vs_n:lim
+      ~arbitrary_vs_n:arb
+  in
+  let ba = curves "ba-jjj" in
+  check Alcotest.string "ba-jjj adaptivity" "super-adaptive" (Rme.Report.adaptivity_name ba);
+  check Alcotest.string "ba-jjj boundedness" "well-bounded" (Rme.Report.boundedness_name ba);
+  let sa = curves "sa-bakery" in
+  check Alcotest.string "sa-bakery adaptivity" "semi-adaptive" (Rme.Report.adaptivity_name sa)
+
+let () =
+  Alcotest.run "contracts"
+    [
+      ( "ff-bounds",
+        List.map
+          (fun (spec : Rme.Spec.t) ->
+            Alcotest.test_case spec.key `Quick (test_contract spec))
+          Rme.Spec.all );
+      ("tightness", [ Alcotest.test_case "bounds are tight" `Quick test_contracts_are_tight ]);
+      ( "headline",
+        [ Alcotest.test_case "table-2 row of the paper" `Slow test_headline_classification ] );
+    ]

@@ -1,0 +1,128 @@
+(* Tests for the non-recoverable MCS baselines: mutual exclusion and FCFS in
+   crash-free runs, O(1) RMR per passage, and the deadlock under crashes
+   that motivates recoverable locks. *)
+
+open Rme_sim
+open Rme_locks
+
+let check = Alcotest.check
+
+let ci = Alcotest.int
+
+let cb = Alcotest.bool
+
+let run ?record ?(model = Memory.CC) ?(crash = Crash.none) ?(sched = Sched.round_robin ())
+    ?(n = 4) ?(requests = 6) ?cs ?max_steps ~make () =
+  Harness.run_lock ?record ?cs ?max_steps ~n ~model ~sched ~crash ~requests ~make ()
+
+let assert_clean res ~n ~requests =
+  check cb "no deadlock" false res.Engine.deadlocked;
+  check cb "no timeout" false res.Engine.timed_out;
+  check ci "all satisfied" (n * requests) (Engine.total_completed res);
+  check ci "mutual exclusion" 1 res.Engine.cs_max
+
+(* Mutual exclusion observed through a racy counter: any overlap loses
+   updates. *)
+let run_with_counter ?(model = Memory.CC) ?(sched = Sched.round_robin ()) ~n ~requests ~make () =
+  let counter = ref None in
+  let res =
+    Engine.run ~n ~model ~sched ~crash:Crash.none
+      ~setup:(fun ctx ->
+        let lock = make ctx in
+        let c = Harness.counter_cell ctx in
+        counter := Some (Engine.Ctx.memory ctx, c);
+        (lock, c))
+      ~body:(fun (lock, c) ~pid ->
+        Harness.standard_body ~cs:(Harness.racy_increment c) ~lock ~requests pid)
+      ()
+  in
+  let mem, c = Option.get !counter in
+  (res, Memory.peek mem c)
+
+let makes = [ ("mcs", Mcs.make); ("mcs-be", Mcs_be.make); ("clh", Clh.make) ]
+
+let test_me_no_failures make model sched () =
+  let n = 5 and requests = 8 in
+  let res = run ~model ~sched ~n ~requests ~make () in
+  assert_clean res ~n ~requests
+
+let test_counter_exact make () =
+  let n = 4 and requests = 10 in
+  let res, total = run_with_counter ~sched:(Sched.random ~seed:3) ~n ~requests ~make () in
+  assert_clean res ~n ~requests;
+  check ci "no lost update" (n * requests) total
+
+let test_single_process make () =
+  let res = run ~n:1 ~requests:3 ~make () in
+  assert_clean res ~n:1 ~requests:3
+
+let test_rmr_constant_per_passage make () =
+  (* Failure-free: max RMR per passage must not grow with n. *)
+  let rmr_at n =
+    let res = run ~n ~requests:4 ~sched:(Sched.random ~seed:1) ~make () in
+    Engine.max_rmr res
+  in
+  let r4 = rmr_at 4 and r16 = rmr_at 16 in
+  check cb (Printf.sprintf "O(1) rmr (r4=%d r16=%d)" r4 r16) true (r16 <= r4 + 2)
+
+let test_dsm_spin_local make () =
+  (* Under DSM, spinning must be on local cells: RMRs stay bounded even with
+     heavy contention. *)
+  let res = run ~model:Memory.DSM ~n:8 ~requests:5 ~sched:(Sched.random ~seed:9) ~make () in
+  assert_clean res ~n:8 ~requests:5;
+  check cb (Printf.sprintf "bounded rmr %d" (Engine.max_rmr res)) true (Engine.max_rmr res <= 12)
+
+let test_fcfs make () =
+  (* In a crash-free run, CS order must follow queue-append order.  We check
+     a weaker observable: with a round-robin scheduler and n processes each
+     doing 1 request, every process gets exactly one CS (no barging). *)
+  let res = run ~record:true ~n:6 ~requests:1 ~make () in
+  assert_clean res ~n:6 ~requests:1;
+  let cs_order =
+    List.filter_map
+      (function
+        | Event.Note { note = Event.Seg Event.Cs_begin; pid; _ } -> Some pid
+        | _ -> None)
+      res.Engine.events
+  in
+  check ci "everyone ran CS once" 6 (List.length cs_order);
+  check ci "distinct" 6 (List.length (List.sort_uniq compare cs_order))
+
+let test_mcs_deadlocks_on_crash () =
+  (* A crash while holding the plain MCS lock wedges the queue: the crashed
+     process restarts, enqueues a fresh request behind its own dead node and
+     everyone spins forever.  This is the behaviour RME fixes. *)
+  (* p1 is the first lock holder under round-robin; crash it right after it
+     acquires (Lock_acquired is its 4th note).  Its restart reinitialises and
+     re-enqueues its own node, severing the link its waiters spin on. *)
+  let res =
+    run ~n:3 ~requests:2 ~crash:(Crash.on_kind ~pid:1 ~kind:Api.Note ~occurrence:3 Crash.After)
+      ~max_steps:20_000 ~make:Mcs.make ()
+  in
+  check cb "deadlocked or stuck" true
+    (res.Engine.deadlocked || res.Engine.timed_out
+    || Engine.total_completed res < 6)
+
+let per_lock_cases =
+  List.concat_map
+    (fun (name, make) ->
+      [
+        Alcotest.test_case (name ^ " me cc rr") `Quick (test_me_no_failures make Memory.CC (Sched.round_robin ()));
+        Alcotest.test_case (name ^ " me cc random") `Quick
+          (test_me_no_failures make Memory.CC (Sched.random ~seed:5));
+        Alcotest.test_case (name ^ " me dsm random") `Quick
+          (test_me_no_failures make Memory.DSM (Sched.random ~seed:6));
+        Alcotest.test_case (name ^ " counter exact") `Quick (test_counter_exact make);
+        Alcotest.test_case (name ^ " single process") `Quick (test_single_process make);
+        Alcotest.test_case (name ^ " O(1) rmr") `Quick (test_rmr_constant_per_passage make);
+        Alcotest.test_case (name ^ " dsm local spin") `Quick (test_dsm_spin_local make);
+        Alcotest.test_case (name ^ " fcfs") `Quick (test_fcfs make);
+      ])
+    makes
+
+let () =
+  Alcotest.run "mcs"
+    [
+      ("baseline", per_lock_cases);
+      ("crash", [ Alcotest.test_case "plain mcs wedges on crash" `Quick test_mcs_deadlocks_on_crash ]);
+    ]

@@ -1,0 +1,243 @@
+(* Self-tests for the property checkers: each checker must accept correct
+   histories and reject histories produced by deliberately broken locks. *)
+
+open Rme_sim
+open Rme_locks
+open Rme_check
+
+let check = Alcotest.check
+
+let cb = Alcotest.bool
+
+(* A deliberately broken "lock": acquire/release do nothing. *)
+let broken_make ctx =
+  let id = Engine.Ctx.register_lock ctx "broken" in
+  Lock.instrument ~id ~name:"broken"
+    ~acquire:(fun ~pid:_ -> Api.yield ())
+    ~release:(fun ~pid:_ -> Api.yield ())
+
+(* A lock that starves pid 0: it never lets it in. *)
+let starving_make ctx =
+  let mem = Engine.Ctx.memory ctx in
+  let id = Engine.Ctx.register_lock ctx "starver" in
+  let never = Memory.alloc mem ~name:"starver.never" 0 in
+  Lock.instrument ~id ~name:"starver"
+    ~acquire:(fun ~pid -> if pid = 0 then Api.spin_until never (Api.Eq 1))
+    ~release:(fun ~pid:_ -> ())
+
+let run ?(record = true) ?trace_ops ?(n = 4) ?(requests = 4) ?(crash = Crash.none)
+    ?(sched = Sched.random ~seed:3) ?(max_steps = 200_000) ?cs ~make () =
+  Harness.run_lock ~record ?trace_ops ?cs ~max_steps ~n ~model:Memory.CC ~sched ~crash ~requests
+    ~make ()
+
+let is_none what = function
+  | None -> ()
+  | Some msg -> Alcotest.failf "%s unexpectedly rejected: %s" what msg
+
+let is_some what = function
+  | None -> Alcotest.failf "%s unexpectedly accepted" what
+  | Some _ -> ()
+
+let test_me_checker () =
+  let good = run ~make:Wr_lock.make () in
+  is_none "me(wr)" (Props.mutual_exclusion good);
+  let cs ~pid:_ = for _ = 1 to 10 do Api.yield () done in
+  let bad = run ~cs ~make:broken_make () in
+  is_some "me(broken)" (Props.mutual_exclusion bad)
+
+let test_sf_checker () =
+  let good = run ~make:Tournament.make () in
+  is_none "sf(tournament)" (Props.starvation_freedom good ~requests:4);
+  let bad = run ~make:starving_make () in
+  is_some "sf(starver)" (Props.starvation_freedom bad ~requests:4)
+
+let test_all_satisfied () =
+  let good = run ~make:Bakery.make () in
+  check cb "satisfied" true (Props.all_satisfied good ~n:4 ~requests:4)
+
+let test_responsiveness_checker () =
+  (* WR-Lock under FAS-gap crashes stays within the responsive bound. *)
+  let crash = Crash.on_kind ~pid:2 ~kind:Api.Fas ~occurrence:0 Crash.After in
+  let lock_id = ref 0 in
+  let res =
+    Engine.run ~record:true ~n:4 ~model:Memory.CC ~sched:(Sched.round_robin ()) ~crash
+      ~setup:(fun ctx ->
+        let t = Wr_lock.create ctx in
+        lock_id := Wr_lock.lock_id t;
+        Wr_lock.lock t)
+      ~body:(fun lock ~pid ->
+        Harness.standard_body
+          ~cs:(fun ~pid:_ -> for _ = 1 to 40 do Api.yield () done)
+          ~lock ~requests:2 pid)
+      ()
+  in
+  is_none "responsive(wr)" (Props.responsiveness res ~lock_id:!lock_id);
+  is_none "weak-me-intervals(wr)" (Props.weak_me_intervals res ~lock_id:!lock_id)
+
+let test_weak_me_rejects_gratuitous_violation () =
+  (* The broken lock violates ME with zero failures: the interval checker
+     must reject its history. *)
+  let lock_id = ref 0 in
+  let res =
+    Engine.run ~record:true ~n:4 ~model:Memory.CC ~sched:(Sched.random ~seed:5)
+      ~crash:Crash.none
+      ~setup:(fun ctx ->
+        let lock = broken_make ctx in
+        lock_id := 0;
+        lock)
+      ~body:(fun lock ~pid ->
+        Harness.standard_body
+          ~cs:(fun ~pid:_ -> for _ = 1 to 10 do Api.yield () done)
+          ~lock ~requests:3 pid)
+      ()
+  in
+  is_some "weak-me(broken)" (Props.weak_me_intervals res ~lock_id:!lock_id)
+
+let test_bounded_exit_checker () =
+  let lock_id = ref 0 in
+  let res =
+    Engine.run ~record:true ~trace_ops:true ~n:6 ~model:Memory.CC
+      ~sched:(Sched.random ~seed:7) ~crash:Crash.none
+      ~setup:(fun ctx ->
+        let t = Wr_lock.create ctx in
+        lock_id := Wr_lock.lock_id t;
+        Wr_lock.lock t)
+      ~body:(fun lock ~pid -> Harness.standard_body ~lock ~requests:3 pid)
+      ()
+  in
+  is_none "be(wr)" (Props.bounded_exit res ~lock_id:!lock_id ~bound:10);
+  (* An absurdly small bound must be rejected — proves the checker counts. *)
+  is_some "be(bound=1)" (Props.bounded_exit res ~lock_id:!lock_id ~bound:1)
+
+let test_bcsr_checker () =
+  let lock_id = ref 0 in
+  let cs ~pid:_ = Api.note (Event.Custom "w") in
+  let crash = Crash.on_custom_note ~pid:0 ~tag:"w" ~occurrence:0 Crash.After in
+  let res =
+    Engine.run ~record:true ~trace_ops:true ~n:4 ~model:Memory.CC
+      ~sched:(Sched.round_robin ()) ~crash
+      ~setup:(fun ctx ->
+        let t = Wr_lock.create ctx in
+        lock_id := Wr_lock.lock_id t;
+        Wr_lock.lock t)
+      ~body:(fun lock ~pid -> Harness.standard_body ~cs ~lock ~requests:3 pid)
+      ()
+  in
+  is_none "bcsr(wr)" (Props.bcsr res ~lock_id:!lock_id ~bound:14);
+  is_some "bcsr(bound=0)" (Props.bcsr res ~lock_id:!lock_id ~bound:0)
+
+let test_fcfs_checker () =
+  let res = run ~trace_ops:true ~n:6 ~requests:1 ~sched:(Sched.round_robin ()) ~make:Wr_lock.make () in
+  is_none "fcfs(wr)" (Props.fcfs res ~tail_cell:"wr.tail")
+
+let test_bounded_recovery_checker () =
+  let crash = Crash.on_kind ~pid:0 ~kind:Api.Cas ~occurrence:1 Crash.After in
+  let lock_id = ref 0 in
+  let res =
+    Engine.run ~record:true ~trace_ops:true ~n:3 ~model:Memory.CC
+      ~sched:(Sched.round_robin ()) ~crash
+      ~setup:(fun ctx ->
+        let t = Wr_lock.create ctx in
+        lock_id := Wr_lock.lock_id t;
+        Wr_lock.lock t)
+      ~body:(fun lock ~pid -> Harness.standard_body ~lock ~requests:3 pid)
+      ()
+  in
+  is_none "br(wr)" (Props.bounded_recovery res ~lock_id:!lock_id ~bound:8)
+
+let test_check_battery () =
+  let good = run ~make:Tournament.make () in
+  check (Alcotest.list Alcotest.string) "clean battery" []
+    (Props.check_battery good ~requests:4 ~weak_lock_ids:[]);
+  let cs ~pid:_ = for _ = 1 to 10 do Api.yield () done in
+  let bad = run ~cs ~make:broken_make () in
+  check cb "battery flags broken lock" true
+    (Props.check_battery bad ~requests:4 ~weak_lock_ids:[] <> []);
+  (* Weak lock under FAS-gap crashes: interval form accepted. *)
+  let crash = Crash.on_kind ~pid:2 ~kind:Api.Fas ~occurrence:0 Crash.After in
+  let weak = run ~crash ~cs ~make:Wr_lock.make () in
+  check (Alcotest.list Alcotest.string) "weak battery clean" []
+    (Props.check_battery weak ~requests:4 ~weak_lock_ids:[ 0 ])
+
+let test_timeline_render () =
+  let res = run ~n:3 ~requests:2 ~crash:(Crash.at_op ~pid:1 ~nth:12 Crash.After) ~make:Wr_lock.make () in
+  let s = Timeline.render ~width:60 res in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  check Alcotest.int "one lane per process" 3 (List.length lines);
+  List.iter (fun l -> check cb "lane width" true (String.length l = 60 + 5)) lines;
+  check cb "crash marked" true (String.contains s 'x');
+  check cb "cs marked" true (String.contains s 'C')
+
+let test_replay_consistency () =
+  (* The recorded instruction stream of any run must be sequentially
+     consistent — a self-check of the engine's trace pipeline. *)
+  List.iter
+    (fun (make, crash) ->
+      let res = run ~trace_ops:true ~n:4 ~requests:3 ~crash ~make () in
+      let report = Replay.verify res ~mem_dump:[] in
+      (match report.Replay.divergence with
+      | None -> ()
+      | Some d -> Alcotest.fail d);
+      check cb "replayed something" true (report.Replay.ops_replayed > 50))
+    [
+      (Wr_lock.make, Crash.none);
+      (Wr_lock.make, Crash.at_op ~pid:1 ~nth:14 Crash.After);
+      (Ba_lock.default, Crash.none);
+      ((fun ctx -> Kport.as_lock (Kport.create ~k:4 ctx)), Crash.at_op ~pid:0 ~nth:9 Crash.After);
+    ]
+
+let test_replay_detects_divergence () =
+  (* Feed the checker a corrupted trace: it must flag it. *)
+  let res = run ~trace_ops:true ~n:2 ~requests:2 ~make:Wr_lock.make () in
+  let corrupted =
+    {
+      res with
+      Engine.events =
+        (* Reverse the op stream: reads now precede the writes they saw. *)
+        List.rev res.Engine.events;
+    }
+  in
+  let r1 = Replay.verify res ~mem_dump:[] in
+  let r2 = Replay.verify corrupted ~mem_dump:[] in
+  check cb "original consistent" true (r1.Replay.divergence = None);
+  check cb "corrupted flagged" true (r2.Replay.divergence <> None)
+
+let qcheck_checkers_accept_all_strong_locks =
+  QCheck.Test.make ~name:"checkers accept every strong lock under storms" ~count:25
+    QCheck.(pair (int_bound 4) (int_bound 9999))
+    (fun (which, seed) ->
+      let make =
+        match which with
+        | 0 -> Tournament.make
+        | 1 -> Jjj_tree.make
+        | 2 -> Bakery.make
+        | 3 -> Tas_lock.make
+        | _ -> Ba_lock.default
+      in
+      let crash = Crash.random ~seed ~rate:0.004 ~max_crashes:4 () in
+      let res = run ~n:4 ~crash ~sched:(Sched.random ~seed) ~max_steps:2_000_000 ~make () in
+      Props.mutual_exclusion res = None
+      && Props.starvation_freedom res ~requests:4 = None)
+
+let () =
+  Alcotest.run "props"
+    [
+      ( "checkers",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_me_checker;
+          Alcotest.test_case "starvation freedom" `Quick test_sf_checker;
+          Alcotest.test_case "all satisfied" `Quick test_all_satisfied;
+          Alcotest.test_case "responsiveness" `Quick test_responsiveness_checker;
+          Alcotest.test_case "weak-me rejects broken lock" `Quick
+            test_weak_me_rejects_gratuitous_violation;
+          Alcotest.test_case "bounded exit" `Quick test_bounded_exit_checker;
+          Alcotest.test_case "bcsr" `Quick test_bcsr_checker;
+          Alcotest.test_case "fcfs" `Quick test_fcfs_checker;
+          Alcotest.test_case "bounded recovery" `Quick test_bounded_recovery_checker;
+          Alcotest.test_case "timeline render" `Quick test_timeline_render;
+          Alcotest.test_case "check battery" `Quick test_check_battery;
+          Alcotest.test_case "replay consistency" `Quick test_replay_consistency;
+          Alcotest.test_case "replay detects divergence" `Quick test_replay_detects_divergence;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest qcheck_checkers_accept_all_strong_locks ]);
+    ]

@@ -1,0 +1,385 @@
+(* Tests for the semi-adaptive (SA-Lock, Algorithm 3) and super-adaptive
+   (BA-Lock, §5.2) frameworks: path selection, escalation bounds
+   (Theorem 5.17), adaptivity (Theorems 5.18/5.19), batch failures (§7.1)
+   and the level-tracking restart optimisation (§7.3). *)
+
+open Rme_sim
+open Rme_locks
+
+let check = Alcotest.check
+
+let ci = Alcotest.int
+
+let cb = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* SA-Lock                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sa_make ctx = Sa_lock.lock (Sa_lock.create ~name:"sa" ~core:(Bakery.make ctx) ctx)
+
+let run_sa ?record ?(crash = Crash.none) ?(sched = Sched.round_robin ()) ?(n = 6)
+    ?(requests = 4) ?cs () =
+  Harness.run_lock ?record ?cs ~n ~model:Memory.CC ~sched ~crash ~requests ~make:sa_make ()
+
+let test_sa_all_fast_without_failures () =
+  let res = run_sa ~record:true () in
+  check ci "me" 1 res.Engine.cs_max;
+  let slow_paths =
+    List.filter (function Event.Note { note = Event.Path (_, false); _ } -> true | _ -> false)
+      res.Engine.events
+  in
+  check ci "nobody takes the slow path" 0 (List.length slow_paths)
+
+let test_sa_slow_path_on_unsafe_failure () =
+  (* A FAS-gap crash on the filter admits two processes; the splitter must
+     divert at least one to the slow path, and ME must still hold. *)
+  let crash = Crash.on_kind ~pid:2 ~kind:Api.Fas ~occurrence:0 Crash.After in
+  let cs ~pid:_ = for _ = 1 to 40 do Api.yield () done in
+  let res = run_sa ~record:true ~crash ~cs () in
+  check ci "me preserved by the framework" 1 res.Engine.cs_max;
+  let slow_paths =
+    List.filter (function Event.Note { note = Event.Path (_, false); _ } -> true | _ -> false)
+      res.Engine.events
+  in
+  check cb "someone took the slow path" true (List.length slow_paths > 0)
+
+let test_sa_path_persisted_across_crash () =
+  (* Crash a slow-path process mid-core-acquisition: it must retake the slow
+     path on restart (the type cell persists). *)
+  let crash =
+    Crash.all
+      [
+        Crash.on_kind ~pid:2 ~kind:Api.Fas ~occurrence:0 Crash.After;
+        (* second crash: hit p-whoever in the bakery doorway *)
+        Crash.on_cell ~pid:3 ~cell:"sa-core-unused" ~occurrence:0 Crash.Before;
+      ]
+  in
+  let cs ~pid:_ = for _ = 1 to 40 do Api.yield () done in
+  let res = run_sa ~crash ~cs () in
+  check ci "me" 1 res.Engine.cs_max;
+  check cb "all done" true (Engine.total_completed res = 6 * 4)
+
+(* ------------------------------------------------------------------ *)
+(* BA-Lock                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ba_internals = ref None
+
+let ba_make ?(track_level = false) () ctx =
+  let t = Ba_lock.create ~name:"ba" ~track_level ~base:Jjj_tree.make ctx in
+  ba_internals := Some t;
+  Ba_lock.lock t
+
+let run_ba ?record ?(track_level = false) ?(crash = Crash.none) ?(sched = Sched.random ~seed:5)
+    ?(n = 16) ?(requests = 10) ?(cs_yields = 6) () =
+  let cs ~pid:_ = for _ = 1 to cs_yields do Api.yield () done in
+  let res =
+    Harness.run_lock ?record ~cs ~n ~model:Memory.CC ~sched ~crash ~requests
+      ~make:(ba_make ~track_level ()) ()
+  in
+  (res, Option.get !ba_internals)
+
+let max_level (res : Engine.result) =
+  Array.fold_left (fun acc (p : Engine.proc_stats) -> max acc p.max_level) 0 res.Engine.procs
+
+let test_ba_me_sf_storm () =
+  let crash = Crash.fas_gap ~seed:3 ~rate:0.4 ~max_crashes:16 ~cell_suffix:".tail" () in
+  let res, _ = run_ba ~crash () in
+  check cb "all done" true (Engine.total_completed res = 160);
+  check ci "strong me under unsafe failures" 1 res.Engine.cs_max
+
+let test_ba_no_escalation_without_failures () =
+  let res, _ = run_ba () in
+  check ci "stays at level 1" 1 (max_level res)
+
+let test_ba_escalation_happens () =
+  let crash = Crash.fas_gap ~seed:3 ~rate:0.4 ~max_crashes:32 ~cell_suffix:".tail" () in
+  let res, _ = run_ba ~crash () in
+  check cb
+    (Printf.sprintf "escalates past level 1 (level %d)" (max_level res))
+    true
+    (max_level res >= 2)
+
+let test_ba_level_bound_thm_5_17 () =
+  (* Theorem 5.17: reaching level x requires >= x(x-1)/2 failures, i.e.
+     max level <= 1 + ceil(sqrt(2F)).  Check across adversary strengths. *)
+  List.iter
+    (fun f ->
+      let crash = Crash.fas_gap ~seed:11 ~rate:0.4 ~max_crashes:f ~cell_suffix:".tail" () in
+      let res, _ = run_ba ~n:32 ~requests:12 ~crash () in
+      let lvl = max_level res in
+      let bound = 1 + int_of_float (Float.ceil (sqrt (2.0 *. float_of_int f))) in
+      check cb
+        (Printf.sprintf "F=%d: level %d <= %d" f lvl bound)
+        true (lvl <= bound))
+    [ 1; 2; 4; 8; 16; 32; 64 ]
+
+let test_ba_rmr_sublinear_in_f () =
+  (* Theorem 5.18 shape: the worst passage cost grows like sqrt(F), not F.
+     Compare the growth from F=4 to F=64: a 16x increase in F must increase
+     the max passage RMR by clearly less than 16x. *)
+  let max_rmr_at f =
+    let crash = Crash.fas_gap ~seed:7 ~rate:0.4 ~max_crashes:f ~cell_suffix:".tail" () in
+    let res, _ = run_ba ~n:32 ~requests:12 ~crash () in
+    Engine.max_rmr res
+  in
+  let r4 = max_rmr_at 4 and r64 = max_rmr_at 64 in
+  check cb (Printf.sprintf "sublinear growth (%d -> %d)" r4 r64) true (r64 < 8 * r4)
+
+let test_ba_capped_by_base_lock () =
+  (* Theorem 5.19: even under an unbounded storm, the cost stays within the
+     O(levels + base) ceiling: every level adds O(1) and the recursion depth
+     is fixed. *)
+  let crash = Crash.fas_gap ~seed:13 ~rate:0.5 ~max_crashes:500 ~cell_suffix:".tail" () in
+  let res, t = run_ba ~n:16 ~requests:20 ~crash () in
+  check cb "all done" true (Engine.total_completed res = 320);
+  let ceiling = 40 * (Ba_lock.levels t + 2) in
+  check cb
+    (Printf.sprintf "max rmr %d within ceiling %d" (Engine.max_rmr res) ceiling)
+    true
+    (Engine.max_rmr res <= ceiling)
+
+let test_ba_weak_me_per_filter () =
+  (* Every per-level filter individually satisfies the interval form of
+     weak recoverability (Theorem 4.2). *)
+  let crash = Crash.fas_gap ~seed:5 ~rate:0.4 ~max_crashes:24 ~cell_suffix:".tail" () in
+  let res, t = run_ba ~record:true ~crash () in
+  List.iter
+    (fun fid ->
+      match Rme_check.Props.weak_me_intervals res ~lock_id:fid with
+      | None -> ()
+      | Some msg -> Alcotest.failf "filter %d: %s" fid msg)
+    (Ba_lock.filter_ids t)
+
+let test_ba_locality () =
+  (* Locality (Theorem 5.12): no single crash is unsafe w.r.t. two filters.
+     Check every recorded crash. *)
+  let crash = Crash.fas_gap ~seed:9 ~rate:0.5 ~max_crashes:24 ~cell_suffix:".tail" () in
+  let res, _ = run_ba ~record:true ~crash () in
+  List.iter
+    (function
+      | Event.Crash { unsafe_wrt; _ } ->
+          check cb "at most one sensitive lock per crash" true (List.length unsafe_wrt <= 1)
+      | _ -> ())
+    res.Engine.events
+
+let test_ba_batch_failures () =
+  (* §7.1: a batch failure (all processes at once) is absorbed; everything
+     completes with ME intact, and the cost stays bounded. *)
+  let crash =
+    Crash.all
+      [
+        Crash.batch ~step:400 ~pids:(List.init 16 (fun i -> i));
+        Crash.batch ~step:2000 ~pids:(List.init 8 (fun i -> i));
+      ]
+  in
+  let res, _ = run_ba ~crash () in
+  check cb "all done" true (Engine.total_completed res = 160);
+  check ci "me" 1 res.Engine.cs_max;
+  check ci "24 crashes" 24 res.Engine.total_crashes
+
+let test_ba_batches_do_not_escalate_thm_7_1 () =
+  (* Theorem 7.1's contrapositive, specialised: batch failures alone (u
+     batches, zero individual unsafe failures) cannot push anyone past
+     level u + 1; in practice simultaneous crashes leave no FAS gap at all,
+     so the level stays at 1. *)
+  List.iter
+    (fun repeat ->
+      let crash =
+        Crash.all
+          (List.init repeat (fun r ->
+               Crash.batch ~step:(300 + (r * 900)) ~pids:(List.init 16 (fun i -> i))))
+      in
+      let res, _ = run_ba ~crash () in
+      check cb "all done" true (Engine.total_completed res = 160);
+      check ci
+        (Printf.sprintf "no escalation from %d batches" repeat)
+        1 (max_level res))
+    [ 1; 2; 4 ];
+  (* Mixed regime: u batches + F individual unsafe failures never exceed
+     the individual bound plus the batch allowance (Corollary 7.2 shape). *)
+  let crash =
+    Crash.all
+      [
+        Crash.batch ~step:500 ~pids:(List.init 16 (fun i -> i));
+        Crash.fas_gap ~seed:3 ~rate:0.4 ~max_crashes:8 ~cell_suffix:".tail" ();
+      ]
+  in
+  let res, _ = run_ba ~crash () in
+  check cb "all done" true (Engine.total_completed res = 160);
+  let bound = 1 + 1 + int_of_float (Float.ceil (sqrt 16.0)) in
+  check cb
+    (Printf.sprintf "mixed level %d <= %d" (max_level res) bound)
+    true
+    (max_level res <= bound)
+
+let test_ba_tracked_equivalent_semantics () =
+  (* §7.3 level tracking must not change observable behaviour: ME + SF under
+     the same storms. *)
+  let crash () = Crash.fas_gap ~seed:21 ~rate:0.4 ~max_crashes:20 ~cell_suffix:".tail" () in
+  let res, _ = run_ba ~track_level:true ~crash:(crash ()) () in
+  check cb "all done" true (Engine.total_completed res = 160);
+  check ci "me" 1 res.Engine.cs_max
+
+let test_ba_tracked_cheaper_super_passages () =
+  (* A process that crashes repeatedly deep in the hierarchy re-walks the
+     chain each restart without tracking; with tracking the restarts are
+     cheaper, so its super-passage RMR total should not be higher. *)
+  let scenario track =
+    let crash =
+      Crash.all
+        [
+          Crash.fas_gap ~seed:2 ~rate:0.4 ~max_crashes:12 ~cell_suffix:".tail" ();
+          Crash.random ~seed:3 ~rate:0.004 ~max_crashes:10 ~pids:[ 1 ] ();
+        ]
+    in
+    let res, _ = run_ba ~track_level:track ~crash ~sched:(Sched.random ~seed:4) () in
+    (Engine.total_completed res, Engine.max_rmr_super res)
+  in
+  let done_plain, cost_plain = scenario false in
+  let done_tracked, cost_tracked = scenario true in
+  check ci "plain completes" 160 done_plain;
+  check ci "tracked completes" 160 done_tracked;
+  check cb
+    (Printf.sprintf "tracked (%d) not much worse than plain (%d)" cost_tracked cost_plain)
+    true
+    (cost_tracked <= cost_plain + (cost_plain / 2))
+
+let test_ba_one_level_equals_sa () =
+  (* BA with m = 1 is exactly SA; sanity-check the recursion base. *)
+  let make ctx = Ba_lock.lock (Ba_lock.create ~name:"ba1" ~levels:1 ~base:Tournament.make ctx) in
+  let res = Harness.run_lock ~n:6 ~model:Memory.CC ~sched:(Sched.random ~seed:6)
+      ~crash:Crash.none ~requests:5 ~make () in
+  check cb "all done" true (Engine.total_completed res = 30);
+  check ci "me" 1 res.Engine.cs_max
+
+let test_ba_zero_levels_is_base () =
+  let make ctx = Ba_lock.lock (Ba_lock.create ~name:"ba0" ~levels:0 ~base:Tournament.make ctx) in
+  let res = Harness.run_lock ~n:4 ~model:Memory.CC ~sched:(Sched.round_robin ())
+      ~crash:Crash.none ~requests:4 ~make () in
+  check cb "all done" true (Engine.total_completed res = 16);
+  check ci "me" 1 res.Engine.cs_max
+
+let test_ba_crash_sweep_under_storm () =
+  (* Crash p0 at every op offset *while* a background FAS-gap storm pushes
+     processes onto the slow paths — covers recovery of the deeper levels. *)
+  let n = 4 and requests = 3 in
+  for nth = 0 to 120 do
+    let crash =
+      Crash.all
+        [
+          Crash.at_op ~pid:0 ~nth Crash.After;
+          Crash.fas_gap ~seed:(1000 + nth) ~rate:0.3 ~max_crashes:4 ~cell_suffix:".tail" ();
+        ]
+    in
+    let cs ~pid:_ = for _ = 1 to 4 do Api.yield () done in
+    let res =
+      Harness.run_lock ~cs ~n ~model:Memory.CC ~sched:(Sched.random ~seed:nth) ~crash
+        ~requests ~make:(ba_make ()) ~max_steps:2_000_000 ()
+    in
+    if res.Engine.deadlocked || res.Engine.timed_out then
+      Alcotest.failf "stuck with crash at op %d" nth;
+    check ci (Printf.sprintf "all done (op %d)" nth) (n * requests) (Engine.total_completed res);
+    check ci (Printf.sprintf "me (op %d)" nth) 1 res.Engine.cs_max
+  done
+
+let test_ba_fcfs_no_failures () =
+  (* The paper's lock satisfies FCFS in the absence of failures: the CS
+     order equals the append order at the level-1 filter queue. *)
+  let res =
+    Harness.run_lock ~record:true ~trace_ops:true ~n:8 ~model:Memory.CC
+      ~sched:(Sched.random ~seed:23) ~crash:Crash.none ~requests:1 ~make:(ba_make ()) ()
+  in
+  match Rme_check.Props.fcfs res ~tail_cell:"ba.l1.filter.tail" with
+  | None -> ()
+  | Some msg -> Alcotest.fail msg
+
+let qcheck_ba_storm =
+  QCheck.Test.make ~name:"ba-lock strong ME under mixed storms" ~count:30
+    QCheck.(triple (int_range 4 12) (int_bound 9999) (int_bound 9999))
+    (fun (n, seed, crash_seed) ->
+      let crash =
+        Crash.all
+          [
+            Crash.fas_gap ~seed:crash_seed ~rate:0.3 ~max_crashes:n ~cell_suffix:".tail" ();
+            Crash.random ~seed:(crash_seed + 1) ~rate:0.003 ~max_crashes:n ();
+          ]
+      in
+      let cs ~pid:_ = for _ = 1 to 3 do Api.yield () done in
+      let res =
+        Harness.run_lock ~cs ~n ~model:Memory.CC ~sched:(Sched.random ~seed) ~crash ~requests:4
+          ~make:(ba_make ()) ~max_steps:3_000_000 ()
+      in
+      (not res.Engine.deadlocked) && (not res.Engine.timed_out)
+      && Engine.total_completed res = n * 4
+      && res.Engine.cs_max = 1)
+
+let qcheck_ba_configs =
+  (* The transformation is configuration-agnostic: any level count x base
+     lock x tracking mode yields a strongly recoverable lock. *)
+  QCheck.Test.make ~name:"ba-lock across configurations" ~count:40
+    QCheck.(quad (int_bound 4) (int_bound 2) bool (int_bound 9999))
+    (fun (levels, base_ix, track_level, seed) ->
+      let base =
+        match base_ix with 0 -> Jjj_tree.make | 1 -> Tournament.make | _ -> Bakery.make
+      in
+      let make ctx = Ba_lock.lock (Ba_lock.create ~name:"baq" ~levels ~track_level ~base ctx) in
+      let crash = Crash.fas_gap ~seed ~rate:0.3 ~max_crashes:4 ~cell_suffix:".tail" () in
+      let res =
+        Harness.run_lock ~n:5 ~model:Memory.CC ~sched:(Sched.random ~seed) ~crash ~requests:3
+          ~make ~max_steps:3_000_000 ()
+      in
+      (not res.Engine.deadlocked) && (not res.Engine.timed_out)
+      && Engine.total_completed res = 15
+      && res.Engine.cs_max = 1)
+
+let qcheck_ba_dsm_storm =
+  QCheck.Test.make ~name:"ba-lock under DSM storms" ~count:15
+    QCheck.(pair (int_range 4 8) (int_bound 9999))
+    (fun (n, seed) ->
+      let crash = Crash.fas_gap ~seed ~rate:0.3 ~max_crashes:n ~cell_suffix:".tail" () in
+      let res =
+        Harness.run_lock ~n ~model:Memory.DSM ~sched:(Sched.random ~seed) ~crash ~requests:4
+          ~make:(ba_make ()) ~max_steps:3_000_000 ()
+      in
+      (not res.Engine.deadlocked) && (not res.Engine.timed_out)
+      && Engine.total_completed res = n * 4
+      && res.Engine.cs_max = 1)
+
+let () =
+  Alcotest.run "sa_ba"
+    [
+      ( "sa-lock",
+        [
+          Alcotest.test_case "all fast without failures" `Quick test_sa_all_fast_without_failures;
+          Alcotest.test_case "slow path on unsafe failure" `Quick test_sa_slow_path_on_unsafe_failure;
+          Alcotest.test_case "path persisted across crash" `Quick test_sa_path_persisted_across_crash;
+        ] );
+      ( "ba-lock",
+        [
+          Alcotest.test_case "me/sf under storm" `Quick test_ba_me_sf_storm;
+          Alcotest.test_case "no escalation without failures" `Quick
+            test_ba_no_escalation_without_failures;
+          Alcotest.test_case "escalation happens" `Quick test_ba_escalation_happens;
+          Alcotest.test_case "level bound (thm 5.17)" `Slow test_ba_level_bound_thm_5_17;
+          Alcotest.test_case "rmr sublinear in F (thm 5.18)" `Slow test_ba_rmr_sublinear_in_f;
+          Alcotest.test_case "capped by base lock (thm 5.19)" `Quick test_ba_capped_by_base_lock;
+          Alcotest.test_case "weak-me per filter (thm 4.2)" `Quick test_ba_weak_me_per_filter;
+          Alcotest.test_case "locality (thm 5.12)" `Quick test_ba_locality;
+          Alcotest.test_case "batch failures (s7.1)" `Quick test_ba_batch_failures;
+          Alcotest.test_case "batches don't escalate (thm 7.1)" `Quick
+            test_ba_batches_do_not_escalate_thm_7_1;
+          Alcotest.test_case "level tracking: same semantics" `Quick
+            test_ba_tracked_equivalent_semantics;
+          Alcotest.test_case "level tracking: not costlier" `Quick
+            test_ba_tracked_cheaper_super_passages;
+          Alcotest.test_case "fcfs without failures" `Quick test_ba_fcfs_no_failures;
+          Alcotest.test_case "crash sweep under storm" `Slow test_ba_crash_sweep_under_storm;
+          Alcotest.test_case "one level = sa" `Quick test_ba_one_level_equals_sa;
+          Alcotest.test_case "zero levels = base" `Quick test_ba_zero_levels_is_base;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_ba_storm; qcheck_ba_dsm_storm; qcheck_ba_configs ] );
+    ]

@@ -1,0 +1,516 @@
+(* Unit tests for the simulator substrate: memory/RMR accounting, crash
+   plans, schedulers, and basic engine behaviour. *)
+
+open Rme_sim
+
+let check = Alcotest.check
+
+let ci = Alcotest.int
+
+let cb = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Memory / RMR accounting                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_cc_read_caching () =
+  let mem = Memory.create Memory.CC ~n:2 in
+  let c = Memory.alloc mem ~name:"x" 7 in
+  let v, r = Memory.read mem ~pid:0 c in
+  check ci "value" 7 v;
+  check ci "first read misses" 1 r;
+  let _, r = Memory.read mem ~pid:0 c in
+  check ci "second read hits" 0 r;
+  let _, r = Memory.read mem ~pid:1 c in
+  check ci "other process misses" 1 r
+
+let test_cc_write_invalidates () =
+  let mem = Memory.create Memory.CC ~n:2 in
+  let c = Memory.alloc mem ~name:"x" 0 in
+  let _ = Memory.read mem ~pid:0 c in
+  let r = Memory.write mem ~pid:1 c 5 in
+  check ci "write costs one RMR" 1 r;
+  let v, r = Memory.read mem ~pid:0 c in
+  check ci "reader refetches" 1 r;
+  check ci "sees new value" 5 v;
+  let _, r = Memory.read mem ~pid:1 c in
+  check ci "writer reads its own cache" 0 r
+
+let test_cc_failed_cas_keeps_caches () =
+  let mem = Memory.create Memory.CC ~n:2 in
+  let c = Memory.alloc mem ~name:"x" 1 in
+  let _ = Memory.read mem ~pid:0 c in
+  let ok, r = Memory.cas mem ~pid:1 c ~expect:9 ~value:2 in
+  check cb "cas failed" false ok;
+  check ci "failed cas still costs" 1 r;
+  let _, r = Memory.read mem ~pid:0 c in
+  check ci "reader cache still valid" 0 r
+
+let test_cc_successful_cas_invalidates () =
+  let mem = Memory.create Memory.CC ~n:2 in
+  let c = Memory.alloc mem ~name:"x" 1 in
+  let _ = Memory.read mem ~pid:0 c in
+  let ok, _ = Memory.cas mem ~pid:1 c ~expect:1 ~value:2 in
+  check cb "cas ok" true ok;
+  let v, r = Memory.read mem ~pid:0 c in
+  check ci "invalidated" 1 r;
+  check ci "new value" 2 v
+
+let test_dsm_home_locality () =
+  let mem = Memory.create Memory.DSM ~n:3 in
+  let local = Memory.alloc mem ~home:1 ~name:"local" 0 in
+  let global = Memory.alloc mem ~name:"global" 0 in
+  let _, r = Memory.read mem ~pid:1 local in
+  check ci "home read is local" 0 r;
+  let _, r = Memory.read mem ~pid:0 local in
+  check ci "remote read costs" 1 r;
+  check ci "home write is local" 0 (Memory.write mem ~pid:1 local 3);
+  check ci "remote write costs" 1 (Memory.write mem ~pid:2 local 4);
+  let _, r = Memory.read mem ~pid:0 global in
+  check ci "global cell is remote to all" 1 r;
+  let _, r = Memory.faa mem ~pid:2 global 1 in
+  check ci "global faa remote" 1 r
+
+let test_fas_faa_semantics () =
+  let mem = Memory.create Memory.CC ~n:1 in
+  let c = Memory.alloc mem ~name:"x" 10 in
+  let old, _ = Memory.fas mem ~pid:0 c 20 in
+  check ci "fas returns old" 10 old;
+  check ci "fas stored" 20 (Memory.peek mem c);
+  let old, _ = Memory.faa mem ~pid:0 c 5 in
+  check ci "faa returns old" 20 old;
+  check ci "faa added" 25 (Memory.peek mem c)
+
+(* ------------------------------------------------------------------ *)
+(* Crash plans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let info ?(pid = 0) ?(step = 0) ?(op_index = 0) ?(kind = Api.Read) ?cell ?note () =
+  { Crash.pid; step; op_index; kind; cell; note }
+
+let test_crash_none () =
+  check cb "no crash" true (Crash.on_op Crash.none (info ()) = Crash.No_crash)
+
+let test_crash_at_op () =
+  let plan = Crash.at_op ~pid:1 ~nth:2 Crash.Before in
+  check cb "wrong pid" true (Crash.on_op plan (info ~pid:0 ~op_index:2 ()) = Crash.No_crash);
+  check cb "wrong index" true (Crash.on_op plan (info ~pid:1 ~op_index:1 ()) = Crash.No_crash);
+  check cb "fires" true (Crash.on_op plan (info ~pid:1 ~op_index:2 ()) = Crash.Crash Crash.Before);
+  check cb "fires once" true (Crash.on_op plan (info ~pid:1 ~op_index:2 ()) = Crash.No_crash)
+
+let test_crash_on_kind_occurrence () =
+  let plan = Crash.on_kind ~pid:0 ~kind:Api.Fas ~occurrence:1 Crash.After in
+  check cb "read ignored" true (Crash.on_op plan (info ~kind:Api.Read ()) = Crash.No_crash);
+  check cb "first fas ignored" true (Crash.on_op plan (info ~kind:Api.Fas ()) = Crash.No_crash);
+  check cb "second fas fires" true (Crash.on_op plan (info ~kind:Api.Fas ()) = Crash.Crash Crash.After)
+
+let test_crash_random_budget () =
+  let plan = Crash.random ~seed:42 ~rate:1.0 ~max_crashes:3 () in
+  let fired = ref 0 in
+  for i = 0 to 9 do
+    match Crash.on_op plan (info ~op_index:i ()) with
+    | Crash.Crash _ -> incr fired
+    | Crash.No_crash -> ()
+  done;
+  check ci "budget respected" 3 !fired
+
+let test_crash_async_at () =
+  let plan = Crash.async_at [ (5, 1); (10, 2) ] in
+  check cb "nothing before" true (Crash.async plan ~step:4 = []);
+  check cb "fires at 5" true (Crash.async plan ~step:5 = [ 1 ]);
+  check cb "once" true (Crash.async plan ~step:6 = []);
+  check cb "second at 12" true (Crash.async plan ~step:12 = [ 2 ])
+
+let test_crash_all_combines () =
+  let plan = Crash.all [ Crash.at_op ~pid:0 ~nth:0 Crash.Before; Crash.at_op ~pid:1 ~nth:0 Crash.After ] in
+  check cb "first" true (Crash.on_op plan (info ~pid:0 ()) = Crash.Crash Crash.Before);
+  check cb "second" true (Crash.on_op plan (info ~pid:1 ()) = Crash.Crash Crash.After)
+
+(* ------------------------------------------------------------------ *)
+(* Schedulers                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_round_robin_cycles () =
+  let s = Sched.round_robin () in
+  let runnable = [| 0; 1; 2 |] in
+  let picks = List.init 6 (fun i -> Sched.pick s ~runnable ~step:i) in
+  check (Alcotest.list ci) "cycle" [ 1; 2; 0; 1; 2; 0 ] picks
+
+let test_round_robin_skips_blocked () =
+  let s = Sched.round_robin () in
+  let p1 = Sched.pick s ~runnable:[| 0; 2 |] ~step:0 in
+  let p2 = Sched.pick s ~runnable:[| 0; 2 |] ~step:1 in
+  check (Alcotest.list ci) "skips" [ 2; 0 ] [ p1; p2 ]
+
+let test_random_sched_is_fair () =
+  let s = Sched.random ~seed:7 in
+  let counts = Array.make 3 0 in
+  for i = 0 to 2999 do
+    let p = Sched.pick s ~runnable:[| 0; 1; 2 |] ~step:i in
+    counts.(p) <- counts.(p) + 1
+  done;
+  Array.iter (fun c -> check cb "roughly uniform" true (c > 800 && c < 1200)) counts
+
+let test_random_sched_deterministic () =
+  let run () =
+    let s = Sched.random ~seed:11 in
+    List.init 20 (fun i -> Sched.pick s ~runnable:[| 0; 1; 2; 3 |] ~step:i)
+  in
+  check (Alcotest.list ci) "same seed, same schedule" (run ()) (run ())
+
+(* ------------------------------------------------------------------ *)
+(* Engine basics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A body that increments a shared counter [requests] times, no locking. *)
+let counter_body cell ~requests ~pid:_ =
+  while Api.completed_requests () < requests do
+    Api.note (Event.Seg Event.Req_begin);
+    let v = Api.read cell in
+    Api.write cell (v + 1);
+    Api.note (Event.Seg Event.Req_done)
+  done
+
+let test_burst_sched_bursts () =
+  let s = Sched.burst ~seed:3 ~len:4 in
+  let picks = List.init 12 (fun i -> Sched.pick s ~runnable:[| 0; 1; 2 |] ~step:i) in
+  (* Consecutive picks come in runs of exactly 4. *)
+  let rec runs acc current count = function
+    | [] -> List.rev (count :: acc)
+    | p :: rest ->
+        if p = current then runs acc current (count + 1) rest
+        else runs (count :: acc) p 1 rest
+  in
+  (match picks with
+  | p :: rest ->
+      (* Adjacent bursts of the same pid merge, so runs are multiples of 4. *)
+      List.iter (fun len -> check ci "burst multiple" 0 (len mod 4)) (runs [] p 1 rest)
+  | [] -> Alcotest.fail "no picks");
+  (* Burst scheduling drives a lock correctly. *)
+  let s = Sched.burst ~seed:9 ~len:6 in
+  let res =
+    Engine.run ~n:3 ~model:Memory.CC ~sched:s ~crash:Crash.none
+      ~setup:(fun ctx -> Memory.alloc (Engine.Ctx.memory ctx) ~name:"c" 0)
+      ~body:(fun c ~pid -> counter_body c ~requests:4 ~pid)
+      ()
+  in
+  check ci "all done under burst" 12 (Engine.total_completed res)
+
+let run_counter ?(n = 3) ?(requests = 5) ?(crash = Crash.none) ?(sched = Sched.round_robin ()) () =
+  let cellr = ref None in
+  let res =
+    Engine.run ~n ~model:Memory.CC ~sched ~crash
+      ~setup:(fun ctx ->
+        let c = Memory.alloc (Engine.Ctx.memory ctx) ~name:"counter" 0 in
+        cellr := Some c;
+        c)
+      ~body:(fun c ~pid -> counter_body c ~requests ~pid)
+      ()
+  in
+  (res, Option.get !cellr)
+
+let test_engine_runs_to_completion () =
+  let res, _ = run_counter () in
+  check cb "not deadlocked" false res.Engine.deadlocked;
+  check cb "not timed out" false res.Engine.timed_out;
+  check ci "all requests" 15 (Engine.total_completed res)
+
+let test_engine_counts_passages () =
+  let res, _ = run_counter ~n:2 ~requests:4 () in
+  Array.iter
+    (fun (p : Engine.proc_stats) ->
+      check ci "passages" 4 (List.length p.passages);
+      List.iter (fun (pp : Engine.passage) -> check cb "completed" true pp.completed) p.passages)
+    res.Engine.procs
+
+let test_engine_restarts_after_crash () =
+  (* Crash p0 once somewhere in its run; everything still completes. *)
+  let crash = Crash.at_op ~pid:0 ~nth:3 Crash.Before in
+  let res, _ = run_counter ~crash () in
+  check ci "one crash" 1 res.Engine.total_crashes;
+  check ci "still all requests" 15 (Engine.total_completed res);
+  let p0 : Engine.proc_stats = res.Engine.procs.(0) in
+  check ci "p0 crashed once" 1 p0.crashes;
+  check cb "p0 has a failed passage" true
+    (List.exists (fun (p : Engine.passage) -> not p.completed) p0.passages)
+
+let test_engine_crash_after_applies_op () =
+  (* p0 crashes immediately after its first write: the write must be visible
+     (the instruction executed; only the result was lost). *)
+  let cellr = ref None in
+  let res =
+    Engine.run ~n:1 ~model:Memory.CC ~sched:(Sched.round_robin ())
+      ~crash:(Crash.on_kind ~pid:0 ~kind:Api.Write ~occurrence:0 Crash.After)
+      ~setup:(fun ctx ->
+        let c = Memory.alloc (Engine.Ctx.memory ctx) ~name:"x" 0 in
+        cellr := Some c;
+        c)
+      ~body:(fun c ~pid:_ ->
+        if Api.completed_requests () < 1 then begin
+          Api.note (Event.Seg Event.Req_begin);
+          Api.write c 42;
+          Api.note (Event.Seg Event.Req_done)
+        end)
+      ()
+  in
+  let mem_val =
+    match res.Engine.events with _ -> () in
+  ignore mem_val;
+  check ci "one crash" 1 res.Engine.total_crashes;
+  (* After restart the body runs again (completed is still 0) and finishes. *)
+  check ci "completed after retry" 1 (Engine.total_completed res);
+  match !cellr with
+  | Some _ -> ()
+  | None -> Alcotest.fail "cell not allocated"
+
+let test_engine_crash_before_skips_op () =
+  (* With crash Before on the only write of a 1-request body, the op is not
+     applied on the first attempt; the retry applies it. *)
+  let res =
+    Engine.run ~n:1 ~model:Memory.CC ~sched:(Sched.round_robin ())
+      ~crash:(Crash.on_kind ~pid:0 ~kind:Api.Write ~occurrence:0 Crash.Before)
+      ~setup:(fun ctx -> Memory.alloc (Engine.Ctx.memory ctx) ~name:"x" 0)
+      ~body:(fun c ~pid:_ ->
+        while Api.completed_requests () < 1 do
+          Api.note (Event.Seg Event.Req_begin);
+          Api.write c (Api.read c + 1);
+          Api.note (Event.Seg Event.Req_done)
+        done)
+      ()
+  in
+  check ci "crashed once" 1 res.Engine.total_crashes;
+  check ci "completed" 1 (Engine.total_completed res)
+
+let test_engine_spin_park_and_wake () =
+  (* p1 spins on a flag that p0 sets: both must finish, and the spin must not
+     consume unbounded steps. *)
+  let res =
+    Engine.run ~n:2 ~model:Memory.CC ~sched:(Sched.round_robin ())
+      ~crash:Crash.none
+      ~setup:(fun ctx -> Memory.alloc (Engine.Ctx.memory ctx) ~name:"flag" 0)
+      ~body:(fun flag ~pid ->
+        if Api.completed_requests () < 1 then begin
+          Api.note (Event.Seg Event.Req_begin);
+          if pid = 0 then begin
+            (* Let the scheduler bounce a bit before setting the flag. *)
+            Api.yield ();
+            Api.yield ();
+            Api.write flag 1
+          end
+          else Api.spin_until flag (Api.Eq 1);
+          Api.note (Event.Seg Event.Req_done)
+        end)
+      ()
+  in
+  check cb "no deadlock" false res.Engine.deadlocked;
+  check ci "both done" 2 (Engine.total_completed res);
+  check cb "bounded steps" true (res.Engine.steps < 50)
+
+let test_engine_detects_deadlock () =
+  let res =
+    Engine.run ~n:1 ~model:Memory.CC ~sched:(Sched.round_robin ())
+      ~crash:Crash.none
+      ~setup:(fun ctx -> Memory.alloc (Engine.Ctx.memory ctx) ~name:"flag" 0)
+      ~body:(fun flag ~pid:_ ->
+        if Api.completed_requests () < 1 then begin
+          Api.note (Event.Seg Event.Req_begin);
+          Api.spin_until flag (Api.Eq 1);
+          Api.note (Event.Seg Event.Req_done)
+        end)
+      ()
+  in
+  check cb "deadlocked" true res.Engine.deadlocked;
+  check ci "nothing completed" 0 (Engine.total_completed res)
+
+let test_engine_async_crash_unblocks_parked () =
+  (* A parked process is crashed asynchronously; after restart the flag is
+     set by the other process and everything completes. *)
+  let res =
+    Engine.run ~n:2 ~model:Memory.CC ~sched:(Sched.round_robin ())
+      ~crash:(Crash.async_at [ (4, 1) ])
+      ~setup:(fun ctx -> Memory.alloc (Engine.Ctx.memory ctx) ~name:"flag" 0)
+      ~body:(fun flag ~pid ->
+        while Api.completed_requests () < 1 do
+          Api.note (Event.Seg Event.Req_begin);
+          if pid = 0 then begin
+            for _ = 1 to 6 do
+              Api.yield ()
+            done;
+            Api.write flag 1
+          end
+          else Api.spin_until flag (Api.Eq 1);
+          Api.note (Event.Seg Event.Req_done)
+        done)
+      ()
+  in
+  check ci "crashed once" 1 res.Engine.total_crashes;
+  check ci "both done" 2 (Engine.total_completed res)
+
+let test_engine_rmr_accounting_simple () =
+  (* One process, two writes to a fresh cell under CC: 2 RMRs. *)
+  let res =
+    Engine.run ~n:1 ~model:Memory.CC ~sched:(Sched.round_robin ()) ~crash:Crash.none
+      ~setup:(fun ctx -> Memory.alloc (Engine.Ctx.memory ctx) ~name:"x" 0)
+      ~body:(fun c ~pid:_ ->
+        if Api.completed_requests () < 1 then begin
+          Api.note (Event.Seg Event.Req_begin);
+          Api.write c 1;
+          Api.write c 2;
+          let (_ : int) = Api.read c in
+          Api.note (Event.Seg Event.Req_done)
+        end)
+      ()
+  in
+  check ci "two RMRs (reads hit cache)" 2 res.Engine.total_rmr
+
+let test_rmr_by_kind_sums () =
+  let res, _ = run_counter ~n:3 ~requests:5 () in
+  let by_kind = List.fold_left (fun acc (_, v) -> acc + v) 0 res.Engine.rmr_by_kind in
+  check ci "kind breakdown sums to total" res.Engine.total_rmr by_kind;
+  check cb "reads and writes present" true
+    (List.mem_assoc Api.Read res.Engine.rmr_by_kind
+    && List.mem_assoc Api.Write res.Engine.rmr_by_kind)
+
+let test_engine_records_events () =
+  let res, _ = run_counter ~n:1 ~requests:2 () in
+  check cb "no events unless recording" true (res.Engine.events = []);
+  let res =
+    Engine.run ~record:true ~n:1 ~model:Memory.CC ~sched:(Sched.round_robin ())
+      ~crash:Crash.none
+      ~setup:(fun ctx -> Memory.alloc (Engine.Ctx.memory ctx) ~name:"c" 0)
+      ~body:(fun c ~pid -> counter_body c ~requests:2 ~pid)
+      ()
+  in
+  let begins =
+    List.length
+      (List.filter
+         (function Event.Note { note = Event.Seg Event.Req_begin; _ } -> true | _ -> false)
+         res.Engine.events)
+  in
+  check ci "two passages recorded" 2 begins
+
+let test_engine_max_steps_times_out () =
+  let res =
+    Engine.run ~max_steps:10 ~n:1 ~model:Memory.CC ~sched:(Sched.round_robin ())
+      ~crash:Crash.none
+      ~setup:(fun ctx -> Memory.alloc (Engine.Ctx.memory ctx) ~name:"c" 0)
+      ~body:(fun c ~pid:_ ->
+        while true do
+          Api.write c 1
+        done)
+      ()
+  in
+  check cb "timed out" true res.Engine.timed_out
+
+let test_engine_propagates_body_exceptions () =
+  (* A genuine bug in a process body (not a simulated crash) must surface to
+     the caller, never be swallowed. *)
+  let boom () =
+    ignore
+      (Engine.run ~n:1 ~model:Memory.CC ~sched:(Sched.round_robin ()) ~crash:Crash.none
+         ~setup:(fun ctx -> Memory.alloc (Engine.Ctx.memory ctx) ~name:"c" 0)
+         ~body:(fun c ~pid:_ ->
+           let (_ : int) = Api.read c in
+           failwith "bug in body")
+         ())
+  in
+  Alcotest.check_raises "propagates" (Failure "bug in body") boom
+
+let test_engine_midrun_allocation () =
+  (* Cells may be allocated during the run (queue nodes): accounting and
+     parking still work on them. *)
+  let res =
+    Engine.run ~n:2 ~model:Memory.CC ~sched:(Sched.round_robin ()) ~crash:Crash.none
+      ~setup:(fun ctx -> Engine.Ctx.memory ctx)
+      ~body:(fun mem ~pid ->
+        if Api.completed_requests () < 1 then begin
+          Api.note (Event.Seg Event.Req_begin);
+          if pid = 0 then begin
+            let fresh = Memory.alloc mem ~name:"late" 0 in
+            Api.write fresh 1;
+            let v = Api.read fresh in
+            if v <> 1 then failwith "lost write"
+          end
+          else Api.yield ();
+          Api.note (Event.Seg Event.Req_done)
+        end)
+      ()
+  in
+  check ci "both done" 2 (Engine.total_completed res)
+
+let test_percentiles () =
+  check ci "p50" 5 (Engine.percentile [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ] 0.5);
+  check ci "p0" 1 (Engine.percentile [ 1; 2; 3 ] 0.0);
+  check ci "p100" 3 (Engine.percentile [ 1; 2; 3 ] 1.0);
+  check ci "empty" 0 (Engine.percentile [] 0.9)
+
+let test_latency_recorded () =
+  let res, _ = run_counter ~n:2 ~requests:3 () in
+  let ls = Engine.latencies res in
+  check ci "six passages" 6 (List.length ls);
+  List.iter (fun l -> check cb "positive latency" true (l > 0)) ls
+
+let test_engine_get_done_survives_crash () =
+  (* completed_requests is recoverable state: after a crash the process must
+     not redo finished requests. *)
+  let res =
+    Engine.run ~n:1 ~model:Memory.CC ~sched:(Sched.round_robin ())
+      ~crash:(Crash.at_op ~pid:0 ~nth:9 Crash.Before)
+      ~setup:(fun ctx -> Memory.alloc (Engine.Ctx.memory ctx) ~name:"c" 0)
+      ~body:(fun c ~pid ->
+        counter_body c ~requests:3 ~pid)
+      ()
+  in
+  check ci "crash happened" 1 res.Engine.total_crashes;
+  check ci "exactly 3 requests" 3 (Engine.total_completed res)
+
+let () =
+  Alcotest.run "rme_sim"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "cc read caching" `Quick test_cc_read_caching;
+          Alcotest.test_case "cc write invalidates" `Quick test_cc_write_invalidates;
+          Alcotest.test_case "cc failed cas keeps caches" `Quick test_cc_failed_cas_keeps_caches;
+          Alcotest.test_case "cc successful cas invalidates" `Quick test_cc_successful_cas_invalidates;
+          Alcotest.test_case "dsm home locality" `Quick test_dsm_home_locality;
+          Alcotest.test_case "fas faa semantics" `Quick test_fas_faa_semantics;
+        ] );
+      ( "crash-plans",
+        [
+          Alcotest.test_case "none" `Quick test_crash_none;
+          Alcotest.test_case "at-op" `Quick test_crash_at_op;
+          Alcotest.test_case "on-kind occurrence" `Quick test_crash_on_kind_occurrence;
+          Alcotest.test_case "random budget" `Quick test_crash_random_budget;
+          Alcotest.test_case "async-at" `Quick test_crash_async_at;
+          Alcotest.test_case "all combines" `Quick test_crash_all_combines;
+        ] );
+      ( "schedulers",
+        [
+          Alcotest.test_case "round robin cycles" `Quick test_round_robin_cycles;
+          Alcotest.test_case "round robin skips blocked" `Quick test_round_robin_skips_blocked;
+          Alcotest.test_case "random is fair" `Quick test_random_sched_is_fair;
+          Alcotest.test_case "burst bursts" `Quick test_burst_sched_bursts;
+          Alcotest.test_case "random deterministic" `Quick test_random_sched_deterministic;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs to completion" `Quick test_engine_runs_to_completion;
+          Alcotest.test_case "counts passages" `Quick test_engine_counts_passages;
+          Alcotest.test_case "restart after crash" `Quick test_engine_restarts_after_crash;
+          Alcotest.test_case "crash-after applies op" `Quick test_engine_crash_after_applies_op;
+          Alcotest.test_case "crash-before skips op" `Quick test_engine_crash_before_skips_op;
+          Alcotest.test_case "spin park and wake" `Quick test_engine_spin_park_and_wake;
+          Alcotest.test_case "detects deadlock" `Quick test_engine_detects_deadlock;
+          Alcotest.test_case "async crash unblocks parked" `Quick test_engine_async_crash_unblocks_parked;
+          Alcotest.test_case "rmr accounting" `Quick test_engine_rmr_accounting_simple;
+          Alcotest.test_case "rmr by kind sums" `Quick test_rmr_by_kind_sums;
+          Alcotest.test_case "records events" `Quick test_engine_records_events;
+          Alcotest.test_case "max steps times out" `Quick test_engine_max_steps_times_out;
+          Alcotest.test_case "get_done survives crash" `Quick test_engine_get_done_survives_crash;
+          Alcotest.test_case "propagates body exceptions" `Quick test_engine_propagates_body_exceptions;
+          Alcotest.test_case "mid-run allocation" `Quick test_engine_midrun_allocation;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "latency recorded" `Quick test_latency_recorded;
+        ] );
+    ]

@@ -1,0 +1,271 @@
+(* One parameterized suite over every strongly recoverable lock in the
+   registry: mutual exclusion, starvation freedom, BCSR, crash-point sweeps,
+   and property-based crash storms — plus per-family RMR-shape checks
+   (bakery O(n), tournament O(log n), jjj sub-logarithmic, kport O(1)). *)
+
+open Rme_sim
+open Rme_locks
+
+let check = Alcotest.check
+
+let ci = Alcotest.int
+
+let cb = Alcotest.bool
+
+let strong_locks : (string * Lock.maker) list =
+  [
+    ("tas", Tas_lock.make);
+    ("bakery", Bakery.make);
+    ("tournament", Tournament.make);
+    ("jjj", Jjj_tree.make);
+    ("ramaraju", fun ctx -> Kport.as_lock (Kport.create ~k:(Engine.Ctx.n ctx) ctx));
+    ("sa-tournament", fun ctx ->
+      Sa_lock.lock (Sa_lock.create ~name:"sa" ~core:(Tournament.make ctx) ctx));
+    ("ba-jjj", Ba_lock.default);
+    ("ba-jjj-tracked", fun ctx ->
+      Ba_lock.lock (Ba_lock.create ~name:"bat" ~track_level:true ~base:Jjj_tree.make ctx));
+  ]
+
+let run ?record ?(model = Memory.CC) ?(crash = Crash.none) ?(sched = Sched.round_robin ())
+    ?(n = 5) ?(requests = 4) ?cs ?(max_steps = 3_000_000) ~make () =
+  Harness.run_lock ?record ?cs ~max_steps ~n ~model ~sched ~crash ~requests ~make ()
+
+let assert_clean res ~n ~requests =
+  check cb "no deadlock" false res.Engine.deadlocked;
+  check cb "no timeout" false res.Engine.timed_out;
+  check ci "all satisfied" (n * requests) (Engine.total_completed res);
+  check ci "mutual exclusion" 1 res.Engine.cs_max
+
+let test_me_sf make model seed () =
+  let n = 6 and requests = 5 in
+  let sched = if seed = 0 then Sched.round_robin () else Sched.random ~seed in
+  let res = run ~model ~sched ~n ~requests ~make () in
+  assert_clean res ~n ~requests
+
+let test_counter make () =
+  let n = 4 and requests = 8 in
+  let counter = ref None in
+  let (_ : Engine.result) =
+    Engine.run ~n ~model:Memory.CC ~sched:(Sched.random ~seed:11) ~crash:Crash.none
+      ~setup:(fun ctx ->
+        let lock = make ctx in
+        let c = Harness.counter_cell ctx in
+        counter := Some (Engine.Ctx.memory ctx, c);
+        (lock, c))
+      ~body:(fun (lock, c) ~pid ->
+        Harness.standard_body ~cs:(Harness.racy_increment c) ~lock ~requests pid)
+      ()
+  in
+  let mem, c = Option.get !counter in
+  check ci "no lost update" (n * requests) (Memory.peek mem c)
+
+let test_bcsr make () =
+  (* Crash the first CS occupant inside its critical section: the run must
+     stay mutually exclusive and complete (reentry, idempotent CS). *)
+  let cs ~pid:_ = Api.note (Event.Custom "cs-work") in
+  List.iter
+    (fun victim ->
+      let crash = Crash.on_custom_note ~pid:victim ~tag:"cs-work" ~occurrence:0 Crash.After in
+      let res = run ~n:4 ~requests:3 ~crash ~cs ~make () in
+      assert_clean res ~n:4 ~requests:3;
+      check ci "crashed once" 1 res.Engine.total_crashes)
+    [ 0; 2 ]
+
+let test_me_sf_burst make () =
+  (* Convoy-forming scheduler: long solo bursts stress hand-off paths. *)
+  let res = run ~sched:(Sched.burst ~seed:21 ~len:12) ~n:5 ~requests:4 ~make () in
+  assert_clean res ~n:5 ~requests:4
+
+let test_single_process make () =
+  let res = run ~n:1 ~requests:5 ~make () in
+  assert_clean res ~n:1 ~requests:5
+
+let test_two_processes_heavy make () =
+  let res = run ~n:2 ~requests:20 ~sched:(Sched.random ~seed:31) ~make () in
+  assert_clean res ~n:2 ~requests:20
+
+let test_crash_sweep make () =
+  (* Strong recoverability: crash p0 at every op offset — ME must NEVER be
+     violated (unlike WR-Lock), and everything completes. *)
+  let n = 3 and requests = 2 in
+  List.iter
+    (fun point ->
+      for nth = 0 to 80 do
+        let crash = Crash.at_op ~pid:0 ~nth point in
+        let res = run ~n ~requests ~crash ~make () in
+        if res.Engine.deadlocked || res.Engine.timed_out then
+          Alcotest.failf "stuck with crash at op %d" nth;
+        check ci (Printf.sprintf "all done (op %d)" nth) (n * requests)
+          (Engine.total_completed res);
+        check ci (Printf.sprintf "strong me (op %d)" nth) 1 res.Engine.cs_max
+      done)
+    [ Crash.Before; Crash.After ]
+
+let test_crash_sweep_dsm make () =
+  (* Same sweep under the DSM model: home-node bookkeeping and local-spin
+     parking must recover identically. *)
+  let n = 3 and requests = 2 in
+  for nth = 0 to 60 do
+    let crash = Crash.at_op ~pid:0 ~nth Crash.After in
+    let res = run ~model:Memory.DSM ~n ~requests ~crash ~make () in
+    if res.Engine.deadlocked || res.Engine.timed_out then
+      Alcotest.failf "stuck with crash at op %d (dsm)" nth;
+    check ci (Printf.sprintf "all done (dsm op %d)" nth) (n * requests)
+      (Engine.total_completed res);
+    check ci (Printf.sprintf "strong me (dsm op %d)" nth) 1 res.Engine.cs_max
+  done
+
+let qcheck_storm (name, make) =
+  QCheck.Test.make
+    ~name:(name ^ " survives crash storms with strong ME")
+    ~count:40
+    QCheck.(triple (int_range 2 6) (int_bound 9999) (int_bound 9999))
+    (fun (n, seed, crash_seed) ->
+      let crash = Crash.random ~seed:crash_seed ~rate:0.004 ~max_crashes:n () in
+      let res =
+        run ~n ~requests:3 ~crash ~sched:(Sched.random ~seed) ~make ()
+      in
+      (not res.Engine.deadlocked) && (not res.Engine.timed_out)
+      && Engine.total_completed res = n * 3
+      && res.Engine.cs_max = 1)
+
+(* ------------------------------------------------------------------ *)
+(* RMR shapes                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let max_rmr_at make ~n ~model =
+  let res = run ~model ~n ~requests:4 ~sched:(Sched.random ~seed:17) ~make () in
+  Engine.max_rmr res
+
+let test_bakery_linear_rmr () =
+  let r4 = max_rmr_at Bakery.make ~n:4 ~model:Memory.CC in
+  let r16 = max_rmr_at Bakery.make ~n:16 ~model:Memory.CC in
+  check cb (Printf.sprintf "O(n) growth (%d -> %d)" r4 r16) true (r16 >= 2 * r4)
+
+let test_tournament_log_rmr () =
+  let r4 = max_rmr_at Tournament.make ~n:4 ~model:Memory.CC in
+  let r16 = max_rmr_at Tournament.make ~n:16 ~model:Memory.CC in
+  let r64 = max_rmr_at Tournament.make ~n:64 ~model:Memory.CC in
+  (* log2: 2, 4, 6 levels — quadrupling n adds a roughly constant increment
+     (logarithmic), far below the 16x of linear growth. *)
+  let d1 = r16 - r4 and d2 = r64 - r16 in
+  check cb
+    (Printf.sprintf "log growth (%d %d %d)" r4 r16 r64)
+    true
+    (r64 > r4 && d2 <= d1 + 6 && r64 < 6 * r4)
+
+let test_jjj_sublog_rmr () =
+  let t64 = max_rmr_at Tournament.make ~n:64 ~model:Memory.CC in
+  let j64 = max_rmr_at Jjj_tree.make ~n:64 ~model:Memory.CC in
+  check cb (Printf.sprintf "jjj (%d) below tournament (%d) at n=64" j64 t64) true (j64 < t64);
+  check ci "depth 4 at n=64" 4 (Jjj_tree.depth_for 64);
+  check cb "branching >= 2" true (Jjj_tree.branching_for 64 >= 2)
+
+let test_kport_flat_rmr () =
+  let r4 = max_rmr_at (fun ctx -> Kport.as_lock (Kport.create ~k:4 ctx)) ~n:4 ~model:Memory.CC in
+  let r32 =
+    max_rmr_at (fun ctx -> Kport.as_lock (Kport.create ~k:32 ctx)) ~n:32 ~model:Memory.CC
+  in
+  check cb (Printf.sprintf "flat (%d -> %d)" r4 r32) true (r32 <= r4 + 2)
+
+let test_sa_fast_path_flat () =
+  let make ctx = Sa_lock.lock (Sa_lock.create ~core:(Bakery.make ctx) ctx) in
+  let r4 = max_rmr_at make ~n:4 ~model:Memory.CC in
+  let r32 = max_rmr_at make ~n:32 ~model:Memory.CC in
+  check cb
+    (Printf.sprintf "failure-free semi-adaptive is O(1) (%d -> %d)" r4 r32)
+    true (r32 <= r4 + 4)
+
+let test_dsm_all_bounded () =
+  (* Under DSM every local-spin lock must stay RMR-bounded (tas excepted:
+     it spins remotely by design). *)
+  List.iter
+    (fun (name, make) ->
+      if name <> "tas" then begin
+        let r = max_rmr_at make ~n:8 ~model:Memory.DSM in
+        check cb (Printf.sprintf "%s dsm rmr bounded (%d)" name r) true (r <= 150)
+      end)
+    strong_locks
+
+(* Non-power-of-k process counts exercise the tree-index arithmetic. *)
+let test_odd_n_trees () =
+  List.iter
+    (fun (name, make) ->
+      List.iter
+        (fun n ->
+          let res = run ~n ~requests:3 ~sched:(Sched.random ~seed:41) ~make () in
+          check cb (Printf.sprintf "%s n=%d clean" name n) true
+            ((not res.Engine.deadlocked) && (not res.Engine.timed_out)
+            && Engine.total_completed res = n * 3
+            && res.Engine.cs_max = 1))
+        [ 3; 5; 7; 9; 13 ])
+    [ ("tournament", Tournament.make); ("jjj", Jjj_tree.make) ]
+
+let test_kport_rejects_bad_port () =
+  let raised = ref false in
+  let (_ : Engine.result) =
+    Engine.run ~n:1 ~model:Memory.CC ~sched:(Sched.round_robin ()) ~crash:Crash.none
+      ~setup:(fun ctx -> Kport.create ~k:2 ctx)
+      ~body:(fun kp ~pid ->
+        if Api.completed_requests () < 1 then begin
+          Api.note (Event.Seg Event.Req_begin);
+          (try Kport.acquire kp ~port:5 ~pid with Invalid_argument _ -> raised := true);
+          Api.note (Event.Seg Event.Req_done)
+        end)
+      ()
+  in
+  check cb "port range checked" true !raised
+
+let test_jjj_branching_table () =
+  List.iter
+    (fun (n, k_min) -> check cb (Printf.sprintf "k(%d) >= %d" n k_min) true (Jjj_tree.branching_for n >= k_min))
+    [ (2, 2); (16, 2); (64, 3); (256, 3); (1024, 3) ];
+  (* Depth never exceeds the binary tournament's. *)
+  List.iter
+    (fun n ->
+      check cb
+        (Printf.sprintf "depth(%d)=%d <= log2" n (Jjj_tree.depth_for n))
+        true
+        (Jjj_tree.depth_for n <= Tournament.levels_for n))
+    [ 4; 16; 64; 256; 1024 ]
+
+let per_lock_cases =
+  List.concat_map
+    (fun (name, make) ->
+      [
+        Alcotest.test_case (name ^ " me/sf cc rr") `Quick (test_me_sf make Memory.CC 0);
+        Alcotest.test_case (name ^ " me/sf cc random") `Quick (test_me_sf make Memory.CC 5);
+        Alcotest.test_case (name ^ " me/sf dsm random") `Quick (test_me_sf make Memory.DSM 9);
+        Alcotest.test_case (name ^ " me/sf dsm random2") `Quick (test_me_sf make Memory.DSM 77);
+        Alcotest.test_case (name ^ " me/sf cc random2") `Quick (test_me_sf make Memory.CC 78);
+        Alcotest.test_case (name ^ " me/sf burst") `Quick (test_me_sf_burst make);
+        Alcotest.test_case (name ^ " single process") `Quick (test_single_process make);
+        Alcotest.test_case (name ^ " two heavy") `Quick (test_two_processes_heavy make);
+        Alcotest.test_case (name ^ " counter") `Quick (test_counter make);
+        Alcotest.test_case (name ^ " bcsr") `Quick (test_bcsr make);
+        Alcotest.test_case (name ^ " crash sweep") `Slow (test_crash_sweep make);
+        Alcotest.test_case (name ^ " crash sweep dsm") `Slow (test_crash_sweep_dsm make);
+      ])
+    strong_locks
+
+let () =
+  Alcotest.run "strong_locks"
+    [
+      ("per-lock", per_lock_cases);
+      ("storms", List.map (fun lk -> QCheck_alcotest.to_alcotest (qcheck_storm lk)) strong_locks);
+      ( "rmr-shapes",
+        [
+          Alcotest.test_case "bakery O(n)" `Quick test_bakery_linear_rmr;
+          Alcotest.test_case "tournament O(log n)" `Quick test_tournament_log_rmr;
+          Alcotest.test_case "jjj sub-log" `Quick test_jjj_sublog_rmr;
+          Alcotest.test_case "kport O(1)" `Quick test_kport_flat_rmr;
+          Alcotest.test_case "sa fast path O(1)" `Quick test_sa_fast_path_flat;
+          Alcotest.test_case "dsm bounded" `Quick test_dsm_all_bounded;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "odd-n trees" `Quick test_odd_n_trees;
+          Alcotest.test_case "kport rejects bad port" `Quick test_kport_rejects_bad_port;
+          Alcotest.test_case "jjj branching table" `Quick test_jjj_branching_table;
+        ] );
+    ]

@@ -1,0 +1,422 @@
+(* Tests for WR-Lock (Algorithm 2): weak recoverability, responsiveness
+   (Theorem 4.2), starvation freedom under crashes (Theorem 4.3), BCSR
+   (Theorem 4.4), bounded recovery/exit (Theorem 4.6), O(1) RMRs
+   (Theorem 4.7), and the Figure 1 sub-queue structure. *)
+
+open Rme_sim
+open Rme_locks
+
+let check = Alcotest.check
+
+let ci = Alcotest.int
+
+let cb = Alcotest.bool
+
+(* Run WR-Lock under the standard harness, returning both the engine result
+   and the lock internals for shared-memory inspection. *)
+let run_wr ?record ?trace_ops ?(model = Memory.CC) ?(crash = Crash.none)
+    ?(sched = Sched.round_robin ()) ?(n = 4) ?(requests = 5) ?cs ?on_crash ?max_steps () =
+  let internals = ref None in
+  let res =
+    Engine.run ?record ?trace_ops ?max_steps
+      ?on_crash:
+        (Option.map
+           (fun f ~pid ~step -> f (Option.get !internals) ~pid ~step)
+           on_crash)
+      ~n ~model ~sched ~crash
+      ~setup:(fun ctx ->
+        let t = Wr_lock.create ctx in
+        internals := Some t;
+        Wr_lock.lock t)
+      ~body:(fun lock ~pid -> Harness.standard_body ?cs ~lock ~requests pid)
+      ()
+  in
+  (res, Option.get !internals)
+
+let wr_stats (res : Engine.result) (t : Wr_lock.t) =
+  res.Engine.locks.(Wr_lock.lock_id t)
+
+let assert_all_satisfied res ~n ~requests =
+  check cb "no deadlock" false res.Engine.deadlocked;
+  check cb "no timeout" false res.Engine.timed_out;
+  check ci "all satisfied" (n * requests) (Engine.total_completed res)
+
+(* ------------------------------------------------------------------ *)
+(* Failure-free behaviour                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_me_no_failures model sched () =
+  let n = 6 and requests = 8 in
+  let res, t = run_wr ~model ~sched ~n ~requests () in
+  assert_all_satisfied res ~n ~requests;
+  check ci "mutual exclusion" 1 res.Engine.cs_max;
+  check ci "lock occupancy 1" 1 (wr_stats res t).Engine.max_occupancy;
+  check ci "no unsafe crash" 0 (wr_stats res t).Engine.unsafe_crashes
+
+let test_counter_exact () =
+  let n = 5 and requests = 10 in
+  let counter = ref None in
+  let (_ : Engine.result) =
+    Engine.run ~n ~model:Memory.CC ~sched:(Sched.random ~seed:4) ~crash:Crash.none
+      ~setup:(fun ctx ->
+        let t = Wr_lock.create ctx in
+        let c = Harness.counter_cell ctx in
+        counter := Some (Engine.Ctx.memory ctx, c);
+        (Wr_lock.lock t, c))
+      ~body:(fun (lock, c) ~pid ->
+        Harness.standard_body ~cs:(Harness.racy_increment c) ~lock ~requests pid)
+      ()
+  in
+  let mem, c = Option.get !counter in
+  check ci "no lost update" (n * requests) (Memory.peek mem c)
+
+let test_rmr_constant_in_n model () =
+  let rmr_at n =
+    let res, _ = run_wr ~model ~n ~requests:4 ~sched:(Sched.random ~seed:2) () in
+    Engine.max_rmr res
+  in
+  let r2 = rmr_at 2 and r8 = rmr_at 8 and r32 = rmr_at 32 in
+  check cb (Printf.sprintf "flat rmr (%d %d %d)" r2 r8 r32) true (r32 <= r2 + 4 && r8 <= r2 + 4)
+
+let test_fcfs_no_failures () =
+  (* FCFS: with each process issuing one request, the CS order must equal
+     the queue-append (FAS) order. *)
+  let res, _ = run_wr ~record:true ~trace_ops:true ~n:6 ~requests:1 () in
+  let fas_order =
+    List.filter_map
+      (function
+        | Event.Op { kind = "fas"; pid; cell; _ } when cell = "wr.tail" -> Some pid | _ -> None)
+      res.Engine.events
+  in
+  let cs_order =
+    List.filter_map
+      (function Event.Note { note = Event.Seg Event.Cs_begin; pid; _ } -> Some pid | _ -> None)
+      res.Engine.events
+  in
+  check (Alcotest.list ci) "fcfs" fas_order cs_order
+
+(* ------------------------------------------------------------------ *)
+(* Crashes at the sensitive instruction                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_fas_gap_crash_recovers () =
+  (* p1 crashes immediately after its first FAS (result lost).  The run must
+     still satisfy every request, and the crash must be flagged unsafe. *)
+  let n = 4 and requests = 4 in
+  let crash = Crash.on_kind ~pid:1 ~kind:Api.Fas ~occurrence:0 Crash.After in
+  let res, t = run_wr ~n ~requests ~crash ~sched:(Sched.round_robin ()) () in
+  assert_all_satisfied res ~n ~requests;
+  check ci "one unsafe crash" 1 (wr_stats res t).Engine.unsafe_crashes
+
+let test_fas_crash_before_is_safe () =
+  (* A crash immediately *before* the FAS is safe: the node was never
+     appended; recovery aborts cleanly. *)
+  let n = 4 and requests = 4 in
+  let crash = Crash.on_kind ~pid:1 ~kind:Api.Fas ~occurrence:0 Crash.Before in
+  let res, t = run_wr ~n ~requests ~crash () in
+  assert_all_satisfied res ~n ~requests;
+  check ci "no unsafe crash" 0 (wr_stats res t).Engine.unsafe_crashes;
+  check ci "me preserved" 1 res.Engine.cs_max
+
+let test_responsiveness_thm_4_2 () =
+  (* Theorem 4.2: k+1 processes in CS simultaneously requires >= k unsafe
+     failures.  Fire FAS-gap crashes on several processes and check the
+     inequality on the observed maximum occupancy. *)
+  let n = 8 and requests = 6 in
+  let crash =
+    Crash.all
+      (List.map
+         (fun pid -> Crash.on_kind ~pid ~kind:Api.Fas ~occurrence:0 Crash.After)
+         [ 1; 3; 5 ])
+  in
+  let res, t = run_wr ~n ~requests ~crash ~sched:(Sched.random ~seed:13) () in
+  assert_all_satisfied res ~n ~requests;
+  let stats = wr_stats res t in
+  check cb
+    (Printf.sprintf "occupancy %d <= 1 + unsafe %d" stats.Engine.max_occupancy
+       stats.Engine.unsafe_crashes)
+    true
+    (stats.Engine.max_occupancy <= 1 + stats.Engine.unsafe_crashes)
+
+let test_figure1_subqueues () =
+  (* Figure 1: eight processes append in round-robin order p1, p2, ..., p7,
+     p0; the 4th and 7th appenders (pids 4 and 7) crash in the FAS gap.  A
+     ninth observer process snapshots shared memory once every surviving
+     process has persisted its predecessor: three disjoint sub-queues must
+     exist, headed by the first appender's node and the two orphans. *)
+  let n = 9 in
+  let competitors = 8 in
+  let crash =
+    Crash.all
+      [
+        Crash.on_kind ~pid:4 ~kind:Api.Fas ~occurrence:0 Crash.After;
+        Crash.on_kind ~pid:7 ~kind:Api.Fas ~occurrence:0 Crash.After;
+      ]
+  in
+  let internals = ref None in
+  let snapshot = ref None in
+  let cs ~pid:_ = for _ = 1 to 80 do Api.yield () done in
+  let res =
+    Engine.run ~n ~model:Memory.CC ~sched:(Sched.round_robin ()) ~crash
+      ~setup:(fun ctx ->
+        let t = Wr_lock.create ctx in
+        internals := Some t;
+        Wr_lock.lock t)
+      ~body:(fun lock ~pid ->
+        if pid = 8 then begin
+          (* Observer: wait until all appends + persists are done, before the
+             head leaves its CS, then snapshot. *)
+          if !snapshot = None then begin
+            for _ = 1 to 30 do
+              Api.yield ()
+            done;
+            snapshot := Some (Wr_lock.subqueues (Option.get !internals))
+          end
+        end
+        else Harness.standard_body ~cs ~lock ~requests:1 pid)
+      ()
+  in
+  let t = Option.get !internals in
+  check cb "no deadlock" false res.Engine.deadlocked;
+  check ci "all satisfied" competitors (Engine.total_completed res);
+  match !snapshot with
+  | None -> Alcotest.fail "no snapshot taken"
+  | Some chains ->
+      check ci "three sub-queues" 3 (List.length chains);
+      let all = List.concat chains in
+      check ci "disjoint" (List.length all) (List.length (List.sort_uniq compare all));
+      check ci "eight nodes in queues" 8 (List.length all);
+      (* Heads: the first appender (p1) plus the two crashed appenders. *)
+      let heads = List.filter_map (function [] -> None | h :: _ -> Some h) chains in
+      let owners = List.sort compare (List.map (Wr_lock.owner_of_node t) heads) in
+      check (Alcotest.list ci) "heads owned by p1, p4, p7" [ 1; 4; 7 ] owners;
+      (* Sub-queue lengths match the figure: 3 + 3 + 2. *)
+      let sizes = List.sort compare (List.map List.length chains) in
+      check (Alcotest.list ci) "sizes 2,3,3" [ 2; 3; 3 ] sizes
+
+let test_weak_me_violation_is_possible () =
+  (* Weak recoverability is genuinely weak: there exists a schedule + crash
+     pattern where two processes are in CS simultaneously.  The long CS +
+     FAS-gap crash construction exhibits it: the crashed process's abort
+     signals its successor while the head still holds the lock. *)
+  let n = 4 in
+  (* Round-robin runs p1 first, so p1 heads the queue and enters its (long)
+     CS; p2 appends behind p1 and crashes in the FAS gap; p3 links behind
+     p2's orphaned node.  p2's recovery then relinquishes the node and
+     signals p3, which enters the CS while p1 is still inside. *)
+  let crash = Crash.on_kind ~pid:2 ~kind:Api.Fas ~occurrence:0 Crash.After in
+  let cs ~pid:_ = for _ = 1 to 80 do Api.yield () done in
+  let res, t = run_wr ~n ~requests:2 ~crash ~cs ~sched:(Sched.round_robin ()) () in
+  assert_all_satisfied res ~n ~requests:2;
+  let stats = wr_stats res t in
+  check cb
+    (Printf.sprintf "violation observed (occupancy=%d)" stats.Engine.max_occupancy)
+    true
+    (stats.Engine.max_occupancy >= 2);
+  (* ... but within the responsiveness bound. *)
+  check cb "responsive" true (stats.Engine.max_occupancy <= 1 + stats.Engine.unsafe_crashes)
+
+(* ------------------------------------------------------------------ *)
+(* BCSR / bounded recovery / bounded exit                              *)
+(* ------------------------------------------------------------------ *)
+
+let ops_by_pid_between events pid ~from_note ~to_note =
+  (* Count instruction events of [pid] between the first [from_note] after
+     which we start and the next [to_note]. *)
+  let counting = ref false in
+  let count = ref 0 in
+  let done_ = ref false in
+  List.iter
+    (fun ev ->
+      if not !done_ then
+        match ev with
+        | Event.Note { pid = p; note; _ } when p = pid && note = from_note -> counting := true
+        | Event.Note { pid = p; note; _ } when p = pid && !counting && note = to_note ->
+            done_ := true
+        | Event.Op { pid = p; _ } when p = pid && !counting -> incr count
+        | _ -> ())
+    events;
+  !count
+
+let test_bcsr_reentry_bounded () =
+  (* Crash p0 inside its CS; on restart it must reach the CS again within a
+     bounded number of its own steps (no queue traversal, no spinning). *)
+  let n = 5 in
+  let cs ~pid:_ = Api.note (Event.Custom "cs-work") in
+  let crash = Crash.on_custom_note ~pid:0 ~tag:"cs-work" ~occurrence:0 Crash.After in
+  let res, _ = run_wr ~record:true ~trace_ops:true ~n ~requests:3 ~crash ~cs () in
+  assert_all_satisfied res ~n ~requests:3;
+  (* Find the crash step, then count p0's instructions from its next
+     Req_begin to its next Cs_begin. *)
+  let after_crash =
+    let rec drop = function
+      | Event.Crash { pid = 0; _ } :: rest -> rest
+      | _ :: rest -> drop rest
+      | [] -> []
+    in
+    drop res.Engine.events
+  in
+  let reentry_ops =
+    ops_by_pid_between after_crash 0 ~from_note:(Event.Seg Event.Req_begin)
+      ~to_note:(Event.Seg Event.Cs_begin)
+  in
+  check cb (Printf.sprintf "bounded reentry (%d ops)" reentry_ops) true (reentry_ops <= 12)
+
+let test_bounded_exit () =
+  (* The Exit segment completes within a constant number of own steps even
+     under maximal contention. *)
+  let n = 8 in
+  let res, t = run_wr ~record:true ~trace_ops:true ~n ~requests:2 () in
+  assert_all_satisfied res ~n ~requests:2;
+  let id = Wr_lock.lock_id t in
+  for pid = 0 to n - 1 do
+    let ops =
+      ops_by_pid_between res.Engine.events pid ~from_note:(Event.Lock_release id)
+        ~to_note:(Event.Lock_released id)
+    in
+    check cb (Printf.sprintf "p%d exit bounded (%d ops)" pid ops) true (ops <= 10)
+  done
+
+let test_bounded_recovery_after_cs_crash () =
+  (* Recover itself is loop-free: count ops between Req_begin and the
+     Lock_acquired that follows a crash in Exit. *)
+  let n = 3 in
+  let crash = Crash.on_cell ~pid:0 ~cell:"wr.tail" ~occurrence:1 Crash.After in
+  let res, _ = run_wr ~n ~requests:3 ~crash () in
+  assert_all_satisfied res ~n ~requests:3
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive crash-point sweep                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_point_sweep () =
+  (* Crash p0 at every possible instruction index of its execution, Before
+     and After: every run must still satisfy all requests and respect the
+     responsiveness bound.  This covers every line of Recover/Enter/Exit. *)
+  let n = 3 and requests = 3 in
+  List.iter
+    (fun point ->
+      for nth = 0 to 60 do
+        let crash = Crash.at_op ~pid:0 ~nth point in
+        let res, t = run_wr ~n ~requests ~crash ~sched:(Sched.round_robin ()) () in
+        if res.Engine.deadlocked || res.Engine.timed_out then
+          Alcotest.failf "stuck with crash at op %d (%s)" nth
+            (match point with Crash.Before -> "before" | Crash.After -> "after");
+        check ci
+          (Printf.sprintf "all satisfied (crash at %d)" nth)
+          (n * requests) (Engine.total_completed res);
+        let stats = wr_stats res t in
+        check cb "responsive" true (stats.Engine.max_occupancy <= 1 + stats.Engine.unsafe_crashes)
+      done)
+    [ Crash.Before; Crash.After ]
+
+(* ------------------------------------------------------------------ *)
+(* Property-based: random storms                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_double_crash_point_sweep () =
+  (* Two processes crash at combinatorially chosen instruction offsets: the
+     pairwise product of crash points over the first passage.  Every run
+     must satisfy all requests and respect responsiveness. *)
+  let n = 3 and requests = 2 in
+  for a = 0 to 40 do
+    let b_list = [ a; a + 3; a + 11; a + 23 ] in
+    List.iter
+      (fun b ->
+        let crash =
+          Crash.all [ Crash.at_op ~pid:0 ~nth:a Crash.After; Crash.at_op ~pid:1 ~nth:b Crash.After ]
+        in
+        let res, t = run_wr ~n ~requests ~crash ~sched:(Sched.round_robin ()) () in
+        if res.Engine.deadlocked || res.Engine.timed_out then
+          Alcotest.failf "stuck with crashes at %d/%d" a b;
+        check ci (Printf.sprintf "all satisfied (%d/%d)" a b) (n * requests)
+          (Engine.total_completed res);
+        let stats = wr_stats res t in
+        check cb "responsive" true (stats.Engine.max_occupancy <= 1 + stats.Engine.unsafe_crashes))
+      b_list
+  done
+
+let qcheck_storm =
+  QCheck.Test.make ~name:"wr-lock survives random crash storms" ~count:100
+    QCheck.(
+      quad (int_range 2 8) (int_range 1 5) (int_bound 999) (int_bound 9999))
+    (fun (n, requests, seed, crash_seed) ->
+      let crash = Crash.random ~seed:crash_seed ~rate:0.01 ~max_crashes:(2 * n) () in
+      let res, t =
+        run_wr ~n ~requests ~crash ~sched:(Sched.random ~seed) ~max_steps:2_000_000 ()
+      in
+      let stats = wr_stats res t in
+      (not res.Engine.deadlocked) && (not res.Engine.timed_out)
+      && Engine.total_completed res = n * requests
+      && stats.Engine.max_occupancy <= 1 + stats.Engine.unsafe_crashes)
+
+let qcheck_dsm_storm =
+  QCheck.Test.make ~name:"wr-lock storms under DSM" ~count:30
+    QCheck.(pair (int_range 2 6) (int_bound 9999))
+    (fun (n, seed) ->
+      let crash = Crash.random ~seed ~rate:0.008 ~max_crashes:n () in
+      let res, t =
+        run_wr ~model:Memory.DSM ~n ~requests:4 ~crash ~sched:(Sched.random ~seed)
+          ~max_steps:2_000_000 ()
+      in
+      let stats = wr_stats res t in
+      (not res.Engine.deadlocked) && (not res.Engine.timed_out)
+      && Engine.total_completed res = n * 4
+      && stats.Engine.max_occupancy <= 1 + stats.Engine.unsafe_crashes)
+
+let qcheck_subqueues_partition =
+  QCheck.Test.make ~name:"sub-queues always form a partition at crash time" ~count:40
+    QCheck.(pair (int_range 2 8) (int_bound 9999))
+    (fun (n, seed) ->
+      let crash = Crash.random ~seed ~rate:0.01 ~max_crashes:n () in
+      let ok = ref true in
+      let on_crash t ~pid:_ ~step:_ =
+        let chains = Wr_lock.subqueues t in
+        let all = List.concat chains in
+        if List.length all <> List.length (List.sort_uniq compare all) then ok := false
+      in
+      let res, _ =
+        run_wr ~n ~requests:3 ~crash ~on_crash ~sched:(Sched.random ~seed)
+          ~max_steps:2_000_000 ()
+      in
+      !ok && not res.Engine.deadlocked && not res.Engine.timed_out)
+
+let () =
+  Alcotest.run "wr_lock"
+    [
+      ( "failure-free",
+        [
+          Alcotest.test_case "me cc rr" `Quick (test_me_no_failures Memory.CC (Sched.round_robin ()));
+          Alcotest.test_case "me cc random" `Quick
+            (test_me_no_failures Memory.CC (Sched.random ~seed:1));
+          Alcotest.test_case "me dsm random" `Quick
+            (test_me_no_failures Memory.DSM (Sched.random ~seed:8));
+          Alcotest.test_case "me cc greedy" `Quick (test_me_no_failures Memory.CC (Sched.greedy ()));
+          Alcotest.test_case "counter exact" `Quick test_counter_exact;
+          Alcotest.test_case "O(1) rmr cc" `Quick (test_rmr_constant_in_n Memory.CC);
+          Alcotest.test_case "O(1) rmr dsm" `Quick (test_rmr_constant_in_n Memory.DSM);
+          Alcotest.test_case "fcfs" `Quick test_fcfs_no_failures;
+        ] );
+      ( "sensitive-fas",
+        [
+          Alcotest.test_case "fas-gap crash recovers" `Quick test_fas_gap_crash_recovers;
+          Alcotest.test_case "crash before fas is safe" `Quick test_fas_crash_before_is_safe;
+          Alcotest.test_case "responsiveness (thm 4.2)" `Quick test_responsiveness_thm_4_2;
+          Alcotest.test_case "figure 1 sub-queues" `Quick test_figure1_subqueues;
+          Alcotest.test_case "weak-me violation possible" `Quick test_weak_me_violation_is_possible;
+        ] );
+      ( "bounded",
+        [
+          Alcotest.test_case "bcsr reentry" `Quick test_bcsr_reentry_bounded;
+          Alcotest.test_case "bounded exit" `Quick test_bounded_exit;
+          Alcotest.test_case "crash in exit recovers" `Quick test_bounded_recovery_after_cs_crash;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "exhaustive crash points" `Slow test_crash_point_sweep;
+          Alcotest.test_case "double crash points" `Slow test_double_crash_point_sweep;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_storm; qcheck_dsm_storm; qcheck_subqueues_partition ] );
+    ]
