@@ -84,35 +84,50 @@ let repro key seed =
   List.iter (Fmt.pr "VIOLATION: %s@.") problems;
   if problems = [] then 0 else 1
 
-let soak lock runs seed_base verbose =
+let soak lock runs seed_base verbose jobs =
   let specs =
     match lock with
     | Some key -> [ Rme.Spec.find_exn key ]
     | None -> List.filter (fun (s : Rme.Spec.t) -> s.crash_safe) Rme.Spec.all
   in
+  (* One task per (lock, seed); sharded across domains with --jobs > 1.
+     run_one is domain-safe (every run builds its own engine, memory and
+     seeded RNGs), and results are reported in task order, so the output
+     and the exit status are independent of the domain count. *)
+  let tasks =
+    Array.of_list
+      (List.concat_map
+         (fun (spec : Rme.Spec.t) -> List.init runs (fun i -> (spec, seed_base + i)))
+         specs)
+  in
+  let results =
+    Rme_check.Pool.map ~domains:(max 1 jobs) ~tasks (fun ~index:_ ~stop:_ (spec, seed) ->
+        run_one ~spec ~seed)
+  in
   let failures = ref [] in
-  let total = ref 0 in
-  List.iter
-    (fun (spec : Rme.Spec.t) ->
-      for i = 0 to runs - 1 do
-        incr total;
-        let seed = seed_base + i in
-        let problems, descr = run_one ~spec ~seed in
-        if verbose then Fmt.pr "%-16s seed=%-6d %s %s@." spec.key seed descr
-            (if problems = [] then "ok" else "FAIL");
-        List.iter
-          (fun what -> failures := { lock = spec.key; seed; what } :: !failures)
-          problems
-      done;
-      Fmt.pr "%-16s %d runs done@." spec.Rme.Spec.key runs)
-    specs;
-  if !failures = [] then begin
-    Fmt.pr "@.soak clean: %d runs, 0 violations@." !total;
+  Array.iteri
+    (fun i result ->
+      let spec, seed = tasks.(i) in
+      match result with
+      | None -> ()
+      | Some (problems, descr) ->
+          if verbose then
+            Fmt.pr "%-16s seed=%-6d %s %s@." spec.Rme.Spec.key seed descr
+              (if problems = [] then "ok" else "FAIL");
+          List.iter
+            (fun what -> failures := { lock = spec.Rme.Spec.key; seed; what } :: !failures)
+            problems;
+          if seed = seed_base + runs - 1 then Fmt.pr "%-16s %d runs done@." spec.Rme.Spec.key runs)
+    results;
+  let failures = List.rev !failures in
+  let total = Array.length tasks in
+  if failures = [] then begin
+    Fmt.pr "@.soak clean: %d runs, 0 violations@." total;
     0
   end
   else begin
-    Fmt.pr "@.%d VIOLATIONS in %d runs:@." (List.length !failures) !total;
-    List.iter (fun f -> Fmt.pr "  %s seed=%d: %s@." f.lock f.seed f.what) !failures;
+    Fmt.pr "@.%d VIOLATIONS in %d runs:@." (List.length failures) total;
+    List.iter (fun f -> Fmt.pr "  %s seed=%d: %s@." f.lock f.seed f.what) failures;
     1
   end
 
@@ -123,6 +138,12 @@ let () =
   let runs = Arg.(value & opt int 50 & info [ "runs" ] ~docv:"N" ~doc:"Runs per lock.") in
   let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Base seed.") in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-run output.") in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Shard the campaign over $(docv) OCaml domains (1 = sequential).")
+  in
   let repro_arg =
     Arg.(
       value
@@ -130,12 +151,12 @@ let () =
       & info [ "repro" ] ~docv:"LOCK:SEED"
           ~doc:"Reproduce one soak case verbosely (prints the timeline) and exit.")
   in
-  let main lock runs seed verbose repro_case =
-    match repro_case with Some (key, s) -> repro key s | None -> soak lock runs seed verbose
+  let main lock runs seed verbose jobs repro_case =
+    match repro_case with Some (key, s) -> repro key s | None -> soak lock runs seed verbose jobs
   in
   let cmd =
     Cmd.v
       (Cmd.info "soak" ~doc:"Randomized soak/fuzz campaign over the lock registry.")
-      Term.(const main $ lock $ runs $ seed $ verbose $ repro_arg)
+      Term.(const main $ lock $ runs $ seed $ verbose $ jobs $ repro_arg)
   in
   exit (Cmd.eval' cmd)

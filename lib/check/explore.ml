@@ -36,59 +36,199 @@ let shrink ~reproduces trace =
   let t = canon trace in
   if still_fails t then fix t else trace
 
-let explore ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = true) ~n ~model
-    ~crash ~setup ~body ~check () =
-  let runs = ref 0 in
-  let violation = ref None in
-  let truncated = ref false in
-  (* Depth-first over decision vectors.  Each run returns the branching
-     degree observed at every decision point; children of a prefix [p] are
-     p with its next positions set to 1 .. degree-1 (0 is the default path,
-     covered by [p] itself). *)
-  let rec go (prefix : int list) =
-    if !violation = None then begin
-      if !runs >= max_runs then truncated := true
-      else begin
-        incr runs;
-        let decisions = Vec.of_list prefix in
-        let record = Vec.create () in
-        let sched = Sched.trace ~decisions ~record in
-        let res = Engine.run ~max_steps ~n ~model ~sched ~crash:(crash ()) ~setup ~body () in
-        (match check res with
-        | Some msg -> violation := Some (msg, prefix)
-        | None -> ());
-        (* Explore siblings at every decision point beyond the prefix. *)
-        let depth = List.length prefix in
-        let branches = Vec.to_array record in
-        let len = Array.length branches in
-        let i = ref depth in
-        while !violation = None && !i < len do
-          let degree = branches.(!i) in
-          (* The prefix for position !i follows the default (0) path up to
-             it; positions depth..!i-1 chose 0. *)
-          if degree > 1 then begin
-            let pad = List.init (!i - depth) (fun _ -> 0) in
-            for c = 1 to degree - 1 do
-              if !violation = None then go (prefix @ pad @ [ c ])
-            done
-          end;
-          incr i
+(* Everything one run needs, bundled so the sequential explorer, the
+   shrinker and the per-domain workers of the parallel explorer replay
+   schedules identically. *)
+type 'a driver = {
+  max_steps : int;
+  n : int;
+  model : Memory.model;
+  crash : unit -> Crash.t;
+  setup : Engine.Ctx.t -> 'a;
+  body : 'a -> pid:int -> unit;
+  check : Engine.result -> string option;
+}
+
+(* Run one schedule.  Returns the engine result, the branching degree
+   observed at every decision point, and whether any decision fell outside
+   its degree (an unfaithful replay — see Sched.trace). *)
+let run_trace d trace =
+  let decisions = Vec.of_list trace in
+  let record = Vec.create () in
+  let mismatch = ref false in
+  let sched = Sched.trace ~mismatch ~decisions ~record () in
+  let res =
+    Engine.run ~max_steps:d.max_steps ~n:d.n ~model:d.model ~sched ~crash:(d.crash ())
+      ~setup:d.setup ~body:d.body ()
+  in
+  (res, Vec.to_array record, !mismatch)
+
+(* A shrink candidate counts only if it reproduces the violation *and* its
+   decisions all index real branches: a candidate whose degrees shifted
+   takes different branches than the trace it would be reported as, so a
+   "minimised" witness built from it would be unfaithful. *)
+let faithful_reproduces d t =
+  let res, _, mismatch = run_trace d t in
+  (not mismatch) && d.check res <> None
+
+(* Depth-first exploration of the subtree of decision vectors rooted at
+   [prefix0].  Each run returns the branching degree observed at every
+   decision point; children of a prefix [p] are p with its next positions
+   set to 1 .. degree-1 (0 is the default path, covered by [p] itself).
+   Returns the first violation in DFS preorder, or [None].
+
+   [take_run] reserves budget for one run and returns [false] once the
+   budget is gone; [stop] is an external cancellation signal (the parallel
+   explorer's "an earlier subtree already has the answer").  Both unwind
+   the whole subtree immediately — no sibling is visited once the search
+   cannot contribute to the result. *)
+let subtree d ~take_run ~stop prefix0 =
+  let exception Halt in
+  let exception Found of string * int list in
+  let rec go prefix =
+    if stop () then raise Halt;
+    if not (take_run ()) then raise Halt;
+    let res, branches, _ = run_trace d prefix in
+    (match d.check res with Some msg -> raise (Found (msg, prefix)) | None -> ());
+    (* Explore siblings at every decision point beyond the prefix. *)
+    let depth = List.length prefix in
+    for i = depth to Array.length branches - 1 do
+      let degree = branches.(i) in
+      if degree > 1 then begin
+        (* The prefix for position [i] follows the default (0) path up to
+           it; positions depth..i-1 chose 0. *)
+        let pad = List.init (i - depth) (fun _ -> 0) in
+        for c = 1 to degree - 1 do
+          go (prefix @ pad @ [ c ])
         done
       end
-    end
+    done
   in
-  go [];
+  match go prefix0 with
+  | () -> None
+  | exception Halt -> None
+  | exception Found (msg, tr) -> Some (msg, tr)
+
+(* [exhausted] means the search covered the whole tree: no truncation and
+   no violation (a violation stops the search early by design). *)
+let finish d ~shrink_violations ~runs ~truncated violation =
   let violation =
-    match !violation with
+    match violation with
     | Some (msg, trace) when shrink_violations ->
-        let reproduces t =
-          let decisions = Vec.of_list t in
-          let record = Vec.create () in
-          let sched = Sched.trace ~decisions ~record in
-          let res = Engine.run ~max_steps ~n ~model ~sched ~crash:(crash ()) ~setup ~body () in
-          check res <> None
-        in
-        Some (msg, shrink ~reproduces trace)
+        Some (msg, shrink ~reproduces:(faithful_reproduces d) trace)
     | v -> v
   in
-  { runs = !runs; exhausted = not !truncated; violation }
+  { runs; exhausted = (violation = None) && not truncated; violation }
+
+let explore ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = true) ~n ~model
+    ~crash ~setup ~body ~check () =
+  let d = { max_steps; n; model; crash; setup; body; check } in
+  let runs = ref 0 in
+  let truncated = ref false in
+  let take_run () =
+    if !runs >= max_runs then begin
+      truncated := true;
+      false
+    end
+    else begin
+      incr runs;
+      true
+    end
+  in
+  let violation = subtree d ~take_run ~stop:(fun () -> false) [] in
+  finish d ~shrink_violations ~runs:!runs ~truncated:!truncated violation
+
+(* ------------------------------------------------------------------ *)
+(* Parallel exploration                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The frontier is an ordered list of schedule-tree positions: a [Todo]
+   subtree still to be explored, or the [Violation] of an already-executed
+   frontier run.  The order is DFS preorder of the sequential explorer, so
+   "first element with a violation" means the same thing it does there. *)
+type item = Todo of int list | Violation of string * int list
+
+let explore_parallel ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = true)
+    ?domains ?(split_depth = 1) ~n ~model ~crash ~setup ~body ~check () =
+  let d = { max_steps; n; model; crash; setup; body; check } in
+  let runs = Atomic.make 0 in
+  let truncated = Atomic.make false in
+  let take_run () =
+    let rec loop () =
+      let cur = Atomic.get runs in
+      if cur >= max_runs then begin
+        Atomic.set truncated true;
+        false
+      end
+      else if Atomic.compare_and_set runs cur (cur + 1) then true
+      else loop ()
+    in
+    loop ()
+  in
+  (* Execute one frontier prefix and turn it into its children, in the
+     order the sequential DFS would visit them. *)
+  let expand prefix =
+    if not (take_run ()) then `Truncated
+    else begin
+      let res, branches, _ = run_trace d prefix in
+      match d.check res with
+      | Some msg -> `Violation (msg, prefix)
+      | None ->
+          let depth = List.length prefix in
+          let children = ref [] in
+          for i = Array.length branches - 1 downto depth do
+            let degree = branches.(i) in
+            if degree > 1 then begin
+              let pad = List.init (i - depth) (fun _ -> 0) in
+              for c = degree - 1 downto 1 do
+                children := (prefix @ pad @ [ c ]) :: !children
+              done
+            end
+          done;
+          `Children !children
+    end
+  in
+  (* Split the tree at [split_depth] frontier levels.  A violation found
+     while expanding ends the expansion: items after it in DFS order are
+     irrelevant (dropped), items before it keep their subtrees and are
+     still searched — one of them may hold an earlier violation. *)
+  let rec expand_levels level items =
+    if level >= split_depth then items
+    else begin
+      let rec walk acc = function
+        | [] -> (List.rev acc, false)
+        | (Violation _ as it) :: _ -> (List.rev (it :: acc), true)
+        | Todo p :: rest -> (
+            match expand p with
+            | `Truncated -> (List.rev acc, true)
+            | `Violation (msg, tr) -> (List.rev (Violation (msg, tr) :: acc), true)
+            | `Children cs ->
+                walk (List.rev_append (List.map (fun c -> Todo c) cs) acc) rest)
+      in
+      let items', stop_expanding = walk [] items in
+      if stop_expanding then items' else expand_levels (level + 1) items'
+    end
+  in
+  let items = expand_levels 0 [ Todo [] ] in
+  let rec split acc = function
+    | [] -> (List.rev acc, None)
+    | Violation (msg, tr) :: _ -> (List.rev acc, Some (msg, tr))
+    | Todo p :: rest -> split (p :: acc) rest
+  in
+  let todos, frontier_violation = split [] items in
+  let results =
+    Pool.map ?domains
+      ~hit:(fun v -> v <> None)
+      ~tasks:(Array.of_list todos)
+      (fun ~index:_ ~stop prefix -> subtree d ~take_run ~stop prefix)
+  in
+  (* Deterministic merge: the lowest-indexed subtree violation — the pool
+     guarantees every earlier subtree ran to completion — and only then
+     the frontier's own violation (every task precedes it in DFS order). *)
+  let rec first i =
+    if i >= Array.length results then None
+    else match results.(i) with Some (Some v) -> Some v | Some None | None -> first (i + 1)
+  in
+  let violation = match first 0 with Some v -> Some v | None -> frontier_violation in
+  finish d ~shrink_violations ~runs:(Atomic.get runs) ~truncated:(Atomic.get truncated)
+    violation

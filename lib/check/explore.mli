@@ -14,9 +14,13 @@ open Rme_sim
 
 type outcome = {
   runs : int;  (** schedules executed *)
-  exhausted : bool;  (** [true] when the whole tree fit in [max_runs] *)
+  exhausted : bool;
+      (** [true] iff the whole schedule tree was covered: every run within
+          the bounds executed, no truncation by [max_runs], and no
+          violation (finding one stops the search early by design) *)
   violation : (string * int list) option;
-      (** first failing run: message and its decision vector *)
+      (** first failing run in DFS preorder: message and its decision
+          vector *)
 }
 
 val pp_outcome : outcome Fmt.t
@@ -41,4 +45,40 @@ val explore :
 (** [crash] builds a fresh (stateful) plan per run.  [check] returns [Some
     msg] on a property violation; exploration stops at the first one and,
     with [shrink_violations] (default true), minimises its decision vector
-    before reporting. *)
+    before reporting.  Shrink candidates are replayed with degree-mismatch
+    detection ({!Sched.trace}) and rejected when unfaithful, so the
+    reported vector always witnesses the violation it claims. *)
+
+val explore_parallel :
+  ?max_runs:int ->
+  ?max_steps:int ->
+  ?shrink_violations:bool ->
+  ?domains:int ->
+  ?split_depth:int ->
+  n:int ->
+  model:Memory.model ->
+  crash:(unit -> Crash.t) ->
+  setup:(Engine.Ctx.t -> 'a) ->
+  body:('a -> pid:int -> unit) ->
+  check:(Engine.result -> string option) ->
+  unit ->
+  outcome
+(** Same search as {!explore}, sharded across [domains] OCaml domains
+    (default {!Pool.default_domains}).  The schedule tree is split into
+    disjoint decision-vector prefixes at [split_depth] frontier levels
+    (default 1) and the subtrees are distributed over a {!Pool} work
+    queue; an [Atomic]-based flag cancels later subtrees once an earlier
+    one holds the answer.
+
+    Determinism: when no truncation occurs, the reported [violation] (and
+    its shrunk vector) and the [exhausted] flag are identical to the
+    sequential {!explore}'s, independent of domain scheduling; on a clean
+    exhaustive search [runs] is identical too.  When a violation is found,
+    [runs] may exceed the sequential count (other domains keep finishing
+    their current work — "runs modulo scheduling").  Under [max_runs]
+    truncation, which schedules fit the budget is scheduling-dependent.
+
+    [crash], [setup], [body] and [check] are called concurrently from
+    multiple domains and must be domain-safe: no shared mutable state
+    outside the per-run engine (in particular no global [Random] and no
+    captured growing [Vec]s; {!Engine.run} itself is re-entrant). *)

@@ -1,0 +1,57 @@
+(* Domain-sharded work pool with deterministic, order-respecting merge.
+
+   Tasks are claimed in index order from a shared [Atomic.t] cursor by one
+   worker per domain.  The pool supports early cancellation keyed on task
+   order: when a task's result satisfies [hit], every task with a *higher*
+   index becomes irrelevant (in the explorer, the first violation in DFS
+   order lives in the lowest-indexed subtree that has one) and is skipped
+   or asked to stop; tasks with a lower index always run to completion, so
+   the merged result is independent of how the OS schedules the domains. *)
+
+let default_domains () =
+  (* Leave a core for the rest of the system; exploration saturates. *)
+  max 1 (min 8 (Domain.recommended_domain_count () - 1))
+
+let cas_min cell candidate =
+  let rec loop () =
+    let cur = Atomic.get cell in
+    if candidate < cur && not (Atomic.compare_and_set cell cur candidate) then loop ()
+  in
+  loop ()
+
+let map ?domains ?(hit = fun _ -> false) ~tasks f =
+  let len = Array.length tasks in
+  let domains =
+    match domains with Some d when d >= 1 -> d | Some _ -> 1 | None -> default_domains ()
+  in
+  let domains = min domains (max 1 len) in
+  let next = Atomic.make 0 in
+  (* Lowest task index whose result hit; tasks beyond it are cancelled. *)
+  let first_hit = Atomic.make max_int in
+  let results = Array.make len None in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < len then begin
+        if i <= Atomic.get first_hit then begin
+          (* [stop] turns true only when a strictly earlier task hits, so a
+             task that observes it can abandon its subtree: whatever it
+             would have produced is shadowed in the merge. *)
+          let stop () = Atomic.get first_hit < i in
+          let r = f ~index:i ~stop tasks.(i) in
+          results.(i) <- Some r;
+          if hit r then cas_min first_hit i
+        end;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if domains = 1 then worker ()
+  else begin
+    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    Fun.protect ~finally:(fun () -> List.iter Domain.join spawned) worker
+  end;
+  (* Every write to [results] happens-before the joins above, so the array
+     is safely published to the caller. *)
+  results

@@ -1,0 +1,29 @@
+(** Domain-sharded work pool with a deterministic, order-respecting merge.
+
+    Built for the parallel explorer but generic: an array of independent
+    tasks is claimed in index order from a shared atomic cursor by one
+    worker per domain, and results land in an array indexed like the
+    input.  The caller's [f] must be domain-safe (operate only on its task
+    and on thread-safe shared state such as [Atomic.t] counters). *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count () - 1], clamped to [\[1, 8\]]. *)
+
+val map :
+  ?domains:int ->
+  ?hit:('b -> bool) ->
+  tasks:'a array ->
+  (index:int -> stop:(unit -> bool) -> 'a -> 'b) ->
+  'b option array
+(** [map ~tasks f] runs [f] over every task across [domains] workers
+    (default {!default_domains}; the calling domain is one of them) and
+    returns the results in task order.
+
+    [hit] drives early cancellation: once [hit result] is true for task
+    [i], tasks with index [> i] are skipped (their slot stays [None]) and
+    running tasks with index [> i] observe [stop () = true], a request to
+    abandon their work.  Tasks with index [< i] are never cancelled and
+    always run to completion, so the lowest-indexed hit in the returned
+    array is the same one a sequential left-to-right execution would have
+    found — wall-clock scheduling of the domains cannot change the merged
+    answer. *)

@@ -391,6 +391,15 @@ let finish eng =
     events = Vec.to_list eng.events;
   }
 
+(* Domain-safety audit (parallel explorer): [run] is re-entrant.  Every
+   piece of mutable state below — the store, the engine record, the fiber
+   continuations, the per-process arrays — is created inside this call and
+   never escapes it; the module has no top-level mutable bindings (and the
+   same holds for Memory, Cell, Api, Crash and Vec).  Concurrent [run]s in
+   different domains therefore share nothing, *provided* the caller's
+   [sched], [crash], [setup] and [body] arguments are themselves
+   domain-safe: a stateful scheduler or crash plan must be built fresh per
+   run, and the closures must not capture shared mutable state. *)
 let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000)
     ?(on_crash = fun ~pid:_ ~step:_ -> ()) ~n ~model ~sched ~crash ~setup ~body () =
   let mem = Memory.create model ~n in

@@ -80,7 +80,14 @@ val run :
     [body shared ~pid] for every pid until all bodies return, a deadlock is
     detected (every live process parked), or [max_steps] (default 5e6)
     elapses.  [record] keeps the event history; [trace_ops] additionally
-    records every instruction (expensive — tests only). *)
+    records every instruction (expensive — tests only).
+
+    [run] is re-entrant and domain-safe: all engine state (store, fibers,
+    statistics) is allocated per call, so independent runs may execute
+    concurrently on separate OCaml domains — the parallel explorer relies
+    on this.  The caller must supply domain-safe arguments: build stateful
+    [sched]s and [crash] plans fresh per run, and keep shared mutable
+    state out of the [setup]/[body]/[on_crash] closures. *)
 
 (** {1 Result helpers} *)
 

@@ -66,7 +66,9 @@ let burst ~seed ~len =
         end);
   }
 
-let trace ~decisions ~record =
+exception Unfaithful of { position : int; choice : int; degree : int }
+
+let trace ?mismatch ?(strict = false) ~decisions ~record () =
   let i = ref 0 in
   {
     label = "trace";
@@ -75,7 +77,20 @@ let trace ~decisions ~record =
         let sorted = Array.copy runnable in
         Array.sort compare sorted;
         let choice = if !i < Vec.length decisions then Vec.get decisions !i else 0 in
+        let position = !i in
         incr i;
-        Vec.push record (Array.length sorted);
-        sorted.(choice mod Array.length sorted));
+        let degree = Array.length sorted in
+        Vec.push record degree;
+        (* A decision outside the branching degree means the replayed run no
+           longer takes the branches the decision vector was recorded
+           against (the degree shifted, e.g. because an earlier decision was
+           edited during shrinking).  Silently wrapping would report a trace
+           that witnesses a different schedule than the one executed, so the
+           divergence is surfaced: flagged via [mismatch], or fatal under
+           [strict]. *)
+        if choice >= degree || choice < 0 then begin
+          if strict then raise (Unfaithful { position; choice; degree });
+          match mismatch with Some flag -> flag := true | None -> ()
+        end;
+        sorted.(((choice mod degree) + degree) mod degree));
   }

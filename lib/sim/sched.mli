@@ -26,8 +26,20 @@ val burst : seed:int -> len:int -> t
 (** Runs a randomly chosen process for up to [len] consecutive steps before
     switching — a convoy-forming adversary that stresses hand-off paths. *)
 
-val trace : decisions:int Vec.t -> record:int Vec.t -> t
+exception Unfaithful of { position : int; choice : int; degree : int }
+(** Raised by a [strict] trace scheduler when [decisions.(position)] is not a
+    valid index into a runnable set of size [degree]. *)
+
+val trace :
+  ?mismatch:bool ref -> ?strict:bool -> decisions:int Vec.t -> record:int Vec.t -> unit -> t
 (** Replay scheduler for the bounded explorer: the [i]-th pick takes
     [decisions.(i)] as an index into the sorted runnable set (0 when the
     trace is exhausted) and appends the size of the runnable set to
-    [record], letting the explorer enumerate sibling branches. *)
+    [record], letting the explorer enumerate sibling branches.
+
+    A decision outside the observed branching degree means the replay has
+    diverged from the run the vector was recorded against (shrinking can
+    shift degrees).  The pick still resolves — the index is reduced modulo
+    the degree — but the divergence sets [mismatch] (when supplied) so the
+    caller can reject the replay as unfaithful; with [strict], it raises
+    {!Unfaithful} instead. *)

@@ -60,6 +60,7 @@ let test_finds_seeded_race () =
   | None -> Alcotest.failf "explorer missed the seeded race (%d runs)" outcome.Explore.runs
   | Some (msg, trace) ->
       check cb "message" true (msg = "ME violation");
+      check cb "a violating search is not exhaustive" false outcome.Explore.exhausted;
       (* The witness is shrunk: positional decision vectors limit how far a
          greedy zeroing pass can go, but the trace must stay small. *)
       let nonzero = List.length (List.filter (fun d -> d <> 0) trace) in
@@ -132,6 +133,128 @@ let test_exhaustive_small_program () =
     true
     (outcome.Explore.runs > 50)
 
+let test_truncation_not_exhausted () =
+  (* A correct lock under a tiny run budget: the search must report the
+     truncation (not claim exhaustion) and stop scheduling work at once. *)
+  let outcome = explore_lock ~max_runs:3 ~make:Tas_lock.make () in
+  check ci "runs capped at the budget" 3 outcome.Explore.runs;
+  check cb "not exhausted" false outcome.Explore.exhausted;
+  check cb "no violation" true (outcome.Explore.violation = None)
+
+(* --- trace-scheduler faithfulness ---------------------------------- *)
+
+let test_trace_degree_mismatch () =
+  let record = Vec.create () in
+  let mismatch = ref false in
+  let sched = Sched.trace ~mismatch ~decisions:(Vec.of_list [ 5 ]) ~record () in
+  let p = Sched.pick sched ~runnable:[| 1; 0 |] ~step:0 in
+  check cb "out-of-range decision flags a mismatch" true !mismatch;
+  check ci "pick still deterministic (5 mod 2 -> second of sorted)" 1 p;
+  check ci "degree recorded" 2 (Vec.get record 0);
+  let mismatch = ref false in
+  let sched = Sched.trace ~mismatch ~decisions:(Vec.of_list [ 1 ]) ~record:(Vec.create ()) () in
+  ignore (Sched.pick sched ~runnable:[| 1; 0 |] ~step:0);
+  check cb "in-range decision leaves the flag clear" false !mismatch
+
+let test_trace_strict_raises () =
+  let sched = Sched.trace ~strict:true ~decisions:(Vec.of_list [ 5 ]) ~record:(Vec.create ()) () in
+  Alcotest.check_raises "strict replay raises"
+    (Sched.Unfaithful { position = 0; choice = 5; degree = 2 })
+    (fun () -> ignore (Sched.pick sched ~runnable:[| 1; 0 |] ~step:0))
+
+(* --- WR-Lock FAS gap: parallel determinism ------------------------- *)
+
+(* A 3-process scenario around the WR-Lock's unsafe FAS window whose
+   mutual-exclusion violation the bounded explorer can actually reach:
+   p1 parks *inside* its critical section on a gate cell that only p0
+   (a non-competing process) sets, and p2 crashes right after its tail
+   FAS — in the gap before the predecessor is persisted.  Delaying p0
+   lets p2's recovery relinquish the orphaned queue node and re-enter
+   past the still-parked p1: two processes in the CS off one unsafe
+   crash.  The default schedule (p0 first) is clean, so finding the
+   witness takes real search, yet the witness lies on the DFS spine. *)
+let wr_gap_setup ctx =
+  let gate = Memory.alloc (Engine.Ctx.memory ctx) ~name:"gate" 0 in
+  (Wr_lock.make ctx, gate)
+
+let wr_gap_body (lock, gate) ~pid =
+  if pid = 0 then begin
+    for _ = 1 to 3 do
+      Api.yield ()
+    done;
+    Api.write gate 1
+  end
+  else begin
+    let cs ~pid = if pid = 1 then Api.spin_until gate (Api.Eq 1) in
+    Harness.standard_body ~cs ~lock ~requests:1 pid
+  end
+
+let wr_gap_crash () = Crash.on_kind ~pid:2 ~kind:Api.Fas ~occurrence:0 Crash.After
+
+let wr_gap_check res = if res.Engine.cs_max > 1 then Some "ME violation" else None
+
+let wr_gap_replay trace =
+  let record = Vec.create () in
+  let mismatch = ref false in
+  let sched = Sched.trace ~mismatch ~decisions:(Vec.of_list trace) ~record () in
+  let res =
+    Engine.run ~max_steps:4_000 ~n:3 ~model:Memory.CC ~sched ~crash:(wr_gap_crash ())
+      ~setup:wr_gap_setup ~body:wr_gap_body ()
+  in
+  (res, !mismatch)
+
+let test_wr_gap_sequential_finds_violation () =
+  let outcome =
+    Explore.explore ~max_runs:20_000 ~max_steps:4_000 ~n:3 ~model:Memory.CC ~crash:wr_gap_crash
+      ~setup:wr_gap_setup ~body:wr_gap_body ~check:wr_gap_check ()
+  in
+  match outcome.Explore.violation with
+  | None -> Alcotest.failf "missed the FAS-gap violation (%d runs)" outcome.Explore.runs
+  | Some (_, trace) ->
+      (* Regression for the shrink-faithfulness fix: the reported witness
+         must replay without any degree mismatch and still violate. *)
+      let res, mismatch = wr_gap_replay trace in
+      check cb "witness replays faithfully" false mismatch;
+      check cb "witness still violates ME" true (res.Engine.cs_max > 1)
+
+let test_wr_gap_parallel_determinism () =
+  let seq =
+    Explore.explore ~max_runs:20_000 ~max_steps:4_000 ~n:3 ~model:Memory.CC ~crash:wr_gap_crash
+      ~setup:wr_gap_setup ~body:wr_gap_body ~check:wr_gap_check ()
+  in
+  let par =
+    Explore.explore_parallel ~domains:4 ~max_runs:20_000 ~max_steps:4_000 ~n:3 ~model:Memory.CC
+      ~crash:wr_gap_crash ~setup:wr_gap_setup ~body:wr_gap_body ~check:wr_gap_check ()
+  in
+  check cb "sequential found the violation" true (seq.Explore.violation <> None);
+  check cb "identical (shrunk) violation" true (par.Explore.violation = seq.Explore.violation);
+  check cb "identical exhausted flag" true (par.Explore.exhausted = seq.Explore.exhausted)
+
+let test_parallel_clean_tree_identical () =
+  (* On a clean exhaustive search the parallel explorer must return the
+     outcome byte-for-byte: same runs count, exhausted, no violation. *)
+  let run explorer =
+    explorer ~n:2 ~model:Memory.CC
+      ~crash:(fun () -> Crash.none)
+      ~setup:(fun ctx -> Memory.alloc (Engine.Ctx.memory ctx) ~name:"c" 0)
+      ~body:(fun c ~pid:_ ->
+        if Api.completed_requests () < 1 then begin
+          Api.note (Event.Seg Event.Req_begin);
+          Api.write c 1;
+          Api.write c 2;
+          Api.note (Event.Seg Event.Req_done)
+        end)
+      ~check:(fun _ -> None)
+      ()
+  in
+  let seq = run (Explore.explore ~max_runs:5_000 ?max_steps:None ?shrink_violations:None) in
+  let par =
+    run (Explore.explore_parallel ~max_runs:5_000 ~domains:4 ?max_steps:None ?split_depth:None
+           ?shrink_violations:None)
+  in
+  check cb "exhausted" true seq.Explore.exhausted;
+  check cb "identical outcomes" true (seq = par)
+
 let () =
   Alcotest.run "explore"
     [
@@ -141,6 +264,21 @@ let () =
           Alcotest.test_case "passes correct locks" `Quick test_passes_correct_locks;
           Alcotest.test_case "finds mcs wedge" `Quick test_finds_mcs_wedge_under_crash;
           Alcotest.test_case "exhaustive small program" `Quick test_exhaustive_small_program;
+          Alcotest.test_case "truncation is not exhaustion" `Quick test_truncation_not_exhausted;
+        ] );
+      ( "trace faithfulness",
+        [
+          Alcotest.test_case "degree mismatch flag" `Quick test_trace_degree_mismatch;
+          Alcotest.test_case "strict replay raises" `Quick test_trace_strict_raises;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "wr FAS-gap: sequential witness" `Quick
+            test_wr_gap_sequential_finds_violation;
+          Alcotest.test_case "wr FAS-gap: 4-domain determinism" `Quick
+            test_wr_gap_parallel_determinism;
+          Alcotest.test_case "clean tree: identical outcomes" `Quick
+            test_parallel_clean_tree_identical;
         ] );
       ( "shrink",
         [
