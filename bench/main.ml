@@ -5,7 +5,8 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe table1     # one experiment
      (experiments: table1 table2 fig1 fig23 adaptivity batch reclaim
-                   ablation bechamel)
+                   ablation branching scale space anatomy fairness
+                   adversary explore sweep figures bechamel)
 
    Absolute numbers are simulator RMR counts, not hardware cycles; the
    claims under reproduction are the *shapes* (who is flat, who grows like
@@ -674,6 +675,82 @@ let explore_bench () =
             measures pure sharding overhead; speedup > 1 needs >= 2 cores.@."
 
 (* ------------------------------------------------------------------ *)
+(* Sweep throughput: crash-site campaign cost per lock                  *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_bench () =
+  Fmt.pr "@.=== Sweep: crash-site campaign throughput ===@.@.";
+  let module Sweep = Rme_check.Sweep in
+  let sweep_cfg jobs =
+    {
+      Sweep.default_cfg with
+      Sweep.max_runs_per_plan = 150;
+      max_steps = 6_000;
+      site_cap = 48;
+      plan_cap = 120;
+      jobs;
+    }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let case key jobs =
+    let spec : Rme.Spec.t = Rme.Spec.find_exn key in
+    let s =
+      Sweep.standard_subject ~name:key ~n:2 ~requests:1 ~cs_yields:2
+        ~recoverability:spec.expectation.Rme.Spec.recoverability spec.make
+    in
+    let c, dt =
+      time (fun () ->
+          Sweep.sweep (sweep_cfg jobs) ~n:s.Sweep.subject_n ~model:Memory.CC
+            ~props:s.Sweep.subject_props s.Sweep.subject_scenario)
+    in
+    let sites = List.length c.Sweep.sites in
+    (key, jobs, sites, c.Sweep.plans_run, c.Sweep.runs, dt)
+  in
+  let cases =
+    [ case "wr" 1; case "wr" 2; case "sa-jjj" 1; case "ba-jjj" 1 ]
+  in
+  table
+    ~header:[ "lock"; "jobs"; "sites"; "plans"; "runs"; "wall clock"; "sites/s"; "runs/s" ]
+    ~rows:
+      (List.map
+         (fun (key, jobs, sites, plans, runs, dt) ->
+           [
+             key;
+             string_of_int jobs;
+             string_of_int sites;
+             string_of_int plans;
+             string_of_int runs;
+             Printf.sprintf "%.3f s" dt;
+             Printf.sprintf "%.1f" (float_of_int sites /. dt);
+             Printf.sprintf "%.1f" (float_of_int runs /. dt);
+           ])
+         cases);
+  (* Machine-readable trajectory point: one JSON file per bench invocation,
+     appended to by CI so sweep throughput regressions are visible over time. *)
+  let path = "BENCH_sweep.json" in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"experiment\": \"sweep\",\n  \"cases\": [\n";
+  List.iteri
+    (fun i (key, jobs, sites, plans, runs, dt) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"lock\": %S, \"jobs\": %d, \"sites\": %d, \"plans\": %d, \"runs\": %d, \
+            \"seconds\": %.4f, \"sites_per_sec\": %.2f, \"runs_per_sec\": %.2f}%s\n"
+           key jobs sites plans runs dt
+           (float_of_int sites /. dt)
+           (float_of_int runs /. dt)
+           (if i = List.length cases - 1 then "" else ",")))
+    cases;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (Buffer.contents buf));
+  Fmt.pr "@.(json: %s)@." path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock suite                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -745,6 +822,7 @@ let experiments =
     ("fairness", fairness);
     ("adversary", adversary);
     ("explore", explore_bench);
+    ("sweep", sweep_bench);
     ("figures", figures);
     ("bechamel", bechamel);
   ]

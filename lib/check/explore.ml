@@ -41,6 +41,7 @@ let shrink ~reproduces trace =
    schedules identically. *)
 type 'a driver = {
   max_steps : int;
+  record : bool;
   n : int;
   model : Memory.model;
   crash : unit -> Crash.t;
@@ -58,8 +59,8 @@ let run_trace d trace =
   let mismatch = ref false in
   let sched = Sched.trace ~mismatch ~decisions ~record () in
   let res =
-    Engine.run ~max_steps:d.max_steps ~n:d.n ~model:d.model ~sched ~crash:(d.crash ())
-      ~setup:d.setup ~body:d.body ()
+    Engine.run ~record:d.record ~max_steps:d.max_steps ~n:d.n ~model:d.model ~sched
+      ~crash:(d.crash ()) ~setup:d.setup ~body:d.body ()
   in
   (res, Vec.to_array record, !mismatch)
 
@@ -120,9 +121,9 @@ let finish d ~shrink_violations ~runs ~truncated violation =
   in
   { runs; exhausted = (violation = None) && not truncated; violation }
 
-let explore ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = true) ~n ~model
-    ~crash ~setup ~body ~check () =
-  let d = { max_steps; n; model; crash; setup; body; check } in
+let explore ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = true)
+    ?(record = false) ~n ~model ~crash ~setup ~body ~check () =
+  let d = { max_steps; record; n; model; crash; setup; body; check } in
   let runs = ref 0 in
   let truncated = ref false in
   let take_run () =
@@ -149,8 +150,8 @@ let explore ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = tr
 type item = Todo of int list | Violation of string * int list
 
 let explore_parallel ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = true)
-    ?domains ?(split_depth = 1) ~n ~model ~crash ~setup ~body ~check () =
-  let d = { max_steps; n; model; crash; setup; body; check } in
+    ?(record = false) ?domains ?(split_depth = 1) ~n ~model ~crash ~setup ~body ~check () =
+  let d = { max_steps; record; n; model; crash; setup; body; check } in
   let runs = Atomic.make 0 in
   let truncated = Atomic.make false in
   let take_run () =

@@ -34,6 +34,7 @@ val explore :
   ?max_runs:int ->
   ?max_steps:int ->
   ?shrink_violations:bool ->
+  ?record:bool ->
   n:int ->
   model:Memory.model ->
   crash:(unit -> Crash.t) ->
@@ -42,7 +43,11 @@ val explore :
   check:(Engine.result -> string option) ->
   unit ->
   outcome
-(** [crash] builds a fresh (stateful) plan per run.  [check] returns [Some
+(** [crash] builds a fresh (stateful) plan per run.  [record] (default
+    false) runs the engine with history recording so that [check] can use
+    the event-based property checkers (e.g.
+    {!Props.weak_me_intervals}); leave it off when the check only reads
+    the aggregate statistics.  [check] returns [Some
     msg] on a property violation; exploration stops at the first one and,
     with [shrink_violations] (default true), minimises its decision vector
     before reporting.  Shrink candidates are replayed with degree-mismatch
@@ -53,6 +58,7 @@ val explore_parallel :
   ?max_runs:int ->
   ?max_steps:int ->
   ?shrink_violations:bool ->
+  ?record:bool ->
   ?domains:int ->
   ?split_depth:int ->
   n:int ->

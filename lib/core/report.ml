@@ -16,20 +16,24 @@ let write_csv ~path ~header ~rows =
           output_char oc '\n')
         rows)
 
-let table ~header ~rows =
+let table_to_string ~header ~rows =
   let all = header :: rows in
   let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
   let width = Array.make cols 0 in
   List.iter
     (List.iteri (fun i cell -> if String.length cell > width.(i) then width.(i) <- String.length cell))
     all;
-  let print_row r =
-    List.iteri (fun i cell -> Printf.printf "%-*s  " width.(i) cell) r;
-    print_newline ()
+  let buf = Buffer.create 256 in
+  let add_row r =
+    List.iteri (fun i cell -> Buffer.add_string buf (Printf.sprintf "%-*s  " width.(i) cell)) r;
+    Buffer.add_char buf '\n'
   in
-  print_row header;
-  print_row (List.init (List.length header) (fun i -> String.make width.(i) '-'));
-  List.iter print_row rows
+  add_row header;
+  add_row (List.init (List.length header) (fun i -> String.make width.(i) '-'));
+  List.iter add_row rows;
+  Buffer.contents buf
+
+let table ~header ~rows = print_string (table_to_string ~header ~rows)
 
 let series ~title ~xlabel ~ylabel points =
   Printf.printf "\n%s\n" title;

@@ -4,6 +4,11 @@
 val table : header:string list -> rows:string list list -> unit
 (** Print an aligned text table to stdout. *)
 
+val table_to_string : header:string list -> rows:string list list -> string
+(** The same aligned text table as a string — what {!table} prints.  Used
+    where the rendering must be captured byte-for-byte (the conformance
+    matrix artifact and its determinism test). *)
+
 val write_csv : path:string -> header:string list -> rows:string list list -> unit
 (** Write the same table as RFC-4180-style CSV (for external plotting). *)
 

@@ -19,7 +19,13 @@ type decision = No_crash | Crash of point
 type op_info = {
   pid : int;
   step : int;  (** global step counter *)
-  op_index : int;  (** per-process instruction counter (since last restart... no: since run start) *)
+  op_index : int;
+      (** per-process instruction counter, counted from the start of the
+          run.  The counter is {e not} reset by a crash: it keeps
+          incrementing across restarts, so the [nth] of {!at_op} addresses
+          one absolute point in the process's whole execution, restarts
+          included (pinned by the "op_index continues across restarts"
+          test in [test/test_sim.ml]). *)
   kind : Api.kind;
   cell : string option;  (** name of the touched cell, if any *)
   note : Event.note option;  (** payload when [kind = Note] *)

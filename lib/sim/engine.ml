@@ -47,6 +47,7 @@ type t = {
   trace_ops : bool;
   max_steps : int;
   on_crash : pid:int -> step:int -> unit;
+  on_op : Crash.op_info -> unit;
   body : pid:int -> unit;
   states : pstate array;
   mutable step : int;
@@ -302,6 +303,7 @@ let op_info : type a. t -> int -> a Api.view -> Crash.op_info =
     }
   in
   eng.op_index.(pid) <- eng.op_index.(pid) + 1;
+  eng.on_op info;
   info
 
 let park eng pid (p : parked) =
@@ -401,7 +403,8 @@ let finish eng =
    domain-safe: a stateful scheduler or crash plan must be built fresh per
    run, and the closures must not capture shared mutable state. *)
 let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000)
-    ?(on_crash = fun ~pid:_ ~step:_ -> ()) ~n ~model ~sched ~crash ~setup ~body () =
+    ?(on_crash = fun ~pid:_ ~step:_ -> ()) ?(on_op = fun _ -> ()) ~n ~model ~sched ~crash ~setup
+    ~body () =
   let mem = Memory.create model ~n in
   let ctx = { Ctx.mem; lock_names = Vec.create () } in
   let shared = setup ctx in
@@ -416,6 +419,7 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000)
       trace_ops;
       max_steps;
       on_crash;
+      on_op;
       body = (fun ~pid -> body shared ~pid);
       states = Array.make n Start;
       step = 0;

@@ -67,6 +67,7 @@ val run :
   ?trace_ops:bool ->
   ?max_steps:int ->
   ?on_crash:(pid:int -> step:int -> unit) ->
+  ?on_op:(Crash.op_info -> unit) ->
   n:int ->
   model:Memory.model ->
   sched:Sched.t ->
@@ -81,6 +82,13 @@ val run :
     detected (every live process parked), or [max_steps] (default 5e6)
     elapses.  [record] keeps the event history; [trace_ops] additionally
     records every instruction (expensive — tests only).
+
+    [on_op] is the site-discovery hook: it observes the {!Crash.op_info} of
+    every instruction a process is about to execute — the same view the
+    crash plan gets, in the same order — so a caller can enumerate the
+    crash sites [(pid, op_index, kind, cell)] of a run (the sweep engine's
+    discovery pass).  It fires before the crash plan is consulted, so
+    instructions suppressed by a [Crash Before] are still observed.
 
     [run] is re-entrant and domain-safe: all engine state (store, fibers,
     statistics) is allocated per call, so independent runs may execute

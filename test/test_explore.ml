@@ -247,10 +247,12 @@ let test_parallel_clean_tree_identical () =
       ~check:(fun _ -> None)
       ()
   in
-  let seq = run (Explore.explore ~max_runs:5_000 ?max_steps:None ?shrink_violations:None) in
+  let seq =
+    run (Explore.explore ~max_runs:5_000 ?max_steps:None ?shrink_violations:None ?record:None)
+  in
   let par =
     run (Explore.explore_parallel ~max_runs:5_000 ~domains:4 ?max_steps:None ?split_depth:None
-           ?shrink_violations:None)
+           ?shrink_violations:None ?record:None)
   in
   check cb "exhausted" true seq.Explore.exhausted;
   check cb "identical outcomes" true (seq = par)

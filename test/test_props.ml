@@ -55,6 +55,13 @@ let test_all_satisfied () =
   let good = run ~make:Bakery.make () in
   check cb "satisfied" true (Props.all_satisfied good ~n:4 ~requests:4)
 
+let test_lock_me_checker () =
+  let good = run ~make:Wr_lock.make () in
+  is_none "lock-me(wr)" (Props.lock_mutual_exclusion good ~lock_id:0);
+  let cs ~pid:_ = for _ = 1 to 10 do Api.yield () done in
+  let bad = run ~cs ~make:broken_make () in
+  is_some "lock-me(broken)" (Props.lock_mutual_exclusion bad ~lock_id:0)
+
 let test_responsiveness_checker () =
   (* WR-Lock under FAS-gap crashes stays within the responsive bound. *)
   let crash = Crash.on_kind ~pid:2 ~kind:Api.Fas ~occurrence:0 Crash.After in
@@ -72,7 +79,12 @@ let test_responsiveness_checker () =
       ()
   in
   is_none "responsive(wr)" (Props.responsiveness res ~lock_id:!lock_id);
-  is_none "weak-me-intervals(wr)" (Props.weak_me_intervals res ~lock_id:!lock_id)
+  is_none "weak-me-intervals(wr)" (Props.weak_me_intervals res ~lock_id:!lock_id);
+  (* The broken lock overlaps with zero unsafe failures: the occupancy
+     envelope k+1 <= 1 + F is violated and the checker must say so. *)
+  let cs ~pid:_ = for _ = 1 to 10 do Api.yield () done in
+  let bad = run ~cs ~make:broken_make () in
+  is_some "responsiveness(broken)" (Props.responsiveness bad ~lock_id:0)
 
 let test_weak_me_rejects_gratuitous_violation () =
   (* The broken lock violates ME with zero failures: the interval checker
@@ -128,7 +140,32 @@ let test_bcsr_checker () =
 
 let test_fcfs_checker () =
   let res = run ~trace_ops:true ~n:6 ~requests:1 ~sched:(Sched.round_robin ()) ~make:Wr_lock.make () in
-  is_none "fcfs(wr)" (Props.fcfs res ~tail_cell:"wr.tail")
+  is_none "fcfs(wr)" (Props.fcfs res ~tail_cell:"wr.tail");
+  (* A forced overtake: p0 appends to the queue first but p1 enters the CS
+     first — append order [0;1] vs CS order [1;0] must be rejected. *)
+  let res =
+    Engine.run ~record:true ~trace_ops:true ~n:2 ~model:Memory.CC
+      ~sched:(Sched.round_robin ()) ~crash:Crash.none
+      ~setup:(fun ctx ->
+        let mem = Engine.Ctx.memory ctx in
+        (Memory.alloc mem ~name:"q.tail" 0, Memory.alloc mem ~name:"q.gate" 0))
+      ~body:(fun (tail, gate) ~pid ->
+        if pid = 0 then begin
+          ignore (Api.fas tail 1);
+          Api.spin_until gate (Api.Eq 1);
+          Api.note (Event.Seg Event.Cs_begin);
+          Api.note (Event.Seg Event.Cs_end)
+        end
+        else begin
+          Api.spin_until tail (Api.Eq 1);
+          ignore (Api.fas tail 2);
+          Api.note (Event.Seg Event.Cs_begin);
+          Api.note (Event.Seg Event.Cs_end);
+          Api.write gate 1
+        end)
+      ()
+  in
+  is_some "fcfs(overtake)" (Props.fcfs res ~tail_cell:"q.tail")
 
 let test_bounded_recovery_checker () =
   let crash = Crash.on_kind ~pid:0 ~kind:Api.Cas ~occurrence:1 Crash.After in
@@ -143,7 +180,27 @@ let test_bounded_recovery_checker () =
       ~body:(fun lock ~pid -> Harness.standard_body ~lock ~requests:3 pid)
       ()
   in
-  is_none "br(wr)" (Props.bounded_recovery res ~lock_id:!lock_id ~bound:8)
+  is_none "br(wr)" (Props.bounded_recovery res ~lock_id:!lock_id ~bound:8);
+  (* A lock whose recovery burns six scheduling points before re-entering
+     must bust a tight bound while staying within a loose one. *)
+  let crash = Crash.on_kind ~pid:0 ~kind:Api.Fas ~occurrence:0 Crash.After in
+  let slow =
+    Engine.run ~record:true ~trace_ops:true ~n:3 ~model:Memory.CC
+      ~sched:(Sched.round_robin ()) ~crash
+      ~setup:(fun ctx ->
+        let lock = Wr_lock.lock (Wr_lock.create ctx) in
+        {
+          lock with
+          Harness.acquire =
+            (fun ~pid ->
+              for _ = 1 to 6 do Api.yield () done;
+              lock.Harness.acquire ~pid);
+        })
+      ~body:(fun lock ~pid -> Harness.standard_body ~lock ~requests:3 pid)
+      ()
+  in
+  is_some "br(slow, bound=2)" (Props.bounded_recovery slow ~lock_id:0 ~bound:2);
+  is_none "br(slow, bound=30)" (Props.bounded_recovery slow ~lock_id:0 ~bound:30)
 
 let test_check_battery () =
   let good = run ~make:Tournament.make () in
@@ -225,6 +282,7 @@ let () =
       ( "checkers",
         [
           Alcotest.test_case "mutual exclusion" `Quick test_me_checker;
+          Alcotest.test_case "lock mutual exclusion" `Quick test_lock_me_checker;
           Alcotest.test_case "starvation freedom" `Quick test_sf_checker;
           Alcotest.test_case "all satisfied" `Quick test_all_satisfied;
           Alcotest.test_case "responsiveness" `Quick test_responsiveness_checker;

@@ -263,6 +263,25 @@ let test_engine_crash_after_applies_op () =
   | Some _ -> ()
   | None -> Alcotest.fail "cell not allocated"
 
+let test_op_index_continues_across_restarts () =
+  (* The per-process instruction counter is never reset by a crash: a body
+     of six faa ops crashed After op 3 yields op_index 0..3 before the
+     restart and 4..9 after it — one unbroken sequence.  This pins the
+     semantics documented on [Crash.op_info.op_index]. *)
+  let seen = ref [] in
+  let res =
+    Engine.run ~n:1 ~model:Memory.CC ~sched:(Sched.round_robin ())
+      ~crash:(Crash.at_op ~pid:0 ~nth:3 Crash.After)
+      ~on_op:(fun (info : Crash.op_info) -> seen := info.Crash.op_index :: !seen)
+      ~setup:(fun ctx -> Memory.alloc (Engine.Ctx.memory ctx) ~name:"x" 0)
+      ~body:(fun c ~pid:_ -> for _ = 1 to 6 do ignore (Api.faa c 1) done)
+      ()
+  in
+  check ci "one crash" 1 res.Engine.total_crashes;
+  check (Alcotest.list ci) "op_index unbroken across the restart"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !seen)
+
 let test_engine_crash_before_skips_op () =
   (* With crash Before on the only write of a 1-request body, the op is not
      applied on the first attempt; the retry applies it. *)
@@ -500,6 +519,8 @@ let () =
           Alcotest.test_case "restart after crash" `Quick test_engine_restarts_after_crash;
           Alcotest.test_case "crash-after applies op" `Quick test_engine_crash_after_applies_op;
           Alcotest.test_case "crash-before skips op" `Quick test_engine_crash_before_skips_op;
+          Alcotest.test_case "op_index continues across restarts" `Quick
+            test_op_index_continues_across_restarts;
           Alcotest.test_case "spin park and wake" `Quick test_engine_spin_park_and_wake;
           Alcotest.test_case "detects deadlock" `Quick test_engine_detects_deadlock;
           Alcotest.test_case "async crash unblocks parked" `Quick test_engine_async_crash_unblocks_parked;
