@@ -751,6 +751,84 @@ let sweep_bench () =
   Fmt.pr "@.(json: %s)@." path
 
 (* ------------------------------------------------------------------ *)
+(* Chaos campaign throughput: adaptive adversaries over the registry    *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_bench () =
+  Fmt.pr "@.=== Chaos: adaptive-adversary campaign throughput ===@.@.";
+  let module Chaos = Rme_check.Chaos in
+  let runs = 50 in
+  let case_of key =
+    let spec : Rme.Spec.t = Rme.Spec.find_exn key in
+    {
+      Chaos.case_name = key;
+      case_make = spec.make;
+      case_weak = spec.expectation.Rme.Spec.recoverability = `Weak;
+      case_ff_bound = Option.map (fun f -> f Chaos.default_cfg.Chaos.n) spec.ff_bound;
+    }
+  in
+  let adv_name a = Fmt.str "%a" Chaos.pp_adversary a in
+  let short s = String.sub s 0 (String.index s '(') in
+  let cases =
+    List.concat_map
+      (fun key ->
+        List.map
+          (fun adv ->
+            let t0 = Unix.gettimeofday () in
+            let o =
+              Chaos.campaign ~adversaries:[ adv ] ~runs ~seed_base:0 [ case_of key ]
+            in
+            let dt = Unix.gettimeofday () -. t0 in
+            (key, adv, o, dt))
+          Chaos.standard_adversaries)
+      [ "wr"; "sa-jjj"; "ba-jjj" ]
+  in
+  let latency (o : Chaos.outcome) =
+    if o.Chaos.detect_runs = 0 then 0.0
+    else float_of_int o.Chaos.detect_steps /. float_of_int o.Chaos.detect_runs
+  in
+  table
+    ~header:[ "lock"; "adversary"; "runs"; "crashes"; "viol"; "wall clock"; "runs/s"; "detect" ]
+    ~rows:
+      (List.map
+         (fun (key, adv, (o : Chaos.outcome), dt) ->
+           [
+             key;
+             short (adv_name adv);
+             string_of_int o.Chaos.runs;
+             string_of_int o.Chaos.crashes;
+             string_of_int (List.length o.Chaos.violations);
+             Printf.sprintf "%.3f s" dt;
+             Printf.sprintf "%.1f" (float_of_int o.Chaos.runs /. dt);
+             Printf.sprintf "%.0f steps" (latency o);
+           ])
+         cases);
+  Fmt.pr "@.(detect = mean engine steps from a run's first injected crash to its@.\
+          battery verdict; violations are expected to be 0 — any hit is replayed@.\
+          and shrunk, see soak --adversary)@.";
+  let path = "BENCH_chaos.json" in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"experiment\": \"chaos\",\n  \"cases\": [\n";
+  List.iteri
+    (fun i (key, adv, (o : Chaos.outcome), dt) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"lock\": %S, \"adversary\": %S, \"runs\": %d, \"crashes\": %d, \
+            \"violations\": %d, \"seconds\": %.4f, \"runs_per_sec\": %.2f, \
+            \"detect_latency_steps\": %.1f}%s\n"
+           key (short (adv_name adv)) o.Chaos.runs o.Chaos.crashes
+           (List.length o.Chaos.violations)
+           dt
+           (float_of_int o.Chaos.runs /. dt)
+           (latency o)
+           (if i = List.length cases - 1 then "" else ",")))
+    cases;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (Buffer.contents buf));
+  Fmt.pr "@.(json: %s)@." path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock suite                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -823,6 +901,7 @@ let experiments =
     ("adversary", adversary);
     ("explore", explore_bench);
     ("sweep", sweep_bench);
+    ("chaos", chaos_bench);
     ("figures", figures);
     ("bechamel", bechamel);
   ]

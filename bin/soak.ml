@@ -4,14 +4,19 @@
    violation was found.
 
      dune exec bin/soak.exe -- --runs 200 --seed 0
-     dune exec bin/soak.exe -- --lock ba-jjj --runs 1000 *)
+     dune exec bin/soak.exe -- --lock ba-jjj --runs 1000
+     dune exec bin/soak.exe -- --replay 1234 --lock wr     # full report
+     dune exec bin/soak.exe -- --adversary all --runs 50   # chaos campaign *)
 
 open Cmdliner
 open Rme_sim
+module Chaos = Rme_check.Chaos
 
 type failure = { lock : string; seed : int; what : string }
 
-let run_one ~spec ~seed =
+(* The whole run configuration is a pure function of the seed, so any
+   soak case replays exactly from its seed alone. *)
+let derive_cfg ~seed =
   let rng = Random.State.make [| seed; 0x50a6 |] in
   let n = 2 + Random.State.int rng 7 in
   let requests = 2 + Random.State.int rng 5 in
@@ -22,74 +27,77 @@ let run_one ~spec ~seed =
     | 1 -> Rme.Workload.Fas_storm { f = 1 + Random.State.int rng 8; rate = 0.4 }
     | 2 -> Rme.Workload.Random_storm { crashes = 1 + Random.State.int rng n; rate = 0.008 }
     | _ ->
+        (* Batch phase and cadence vary per seed so the batches land in
+           different phases of the run (startup, steady state, drain). *)
         Rme.Workload.Batch
-          { size = 1 + Random.State.int rng n; at_step = 100; repeat = 1; gap = 0 }
+          {
+            size = 1 + Random.State.int rng n;
+            at_step = 50 + Random.State.int rng 1950;
+            repeat = 1 + Random.State.int rng 3;
+            gap = 200 + Random.State.int rng 1800;
+          }
   in
-  let cfg =
-    {
-      Rme.Workload.n;
-      requests;
-      model;
-      seed;
-      scenario;
-      record = true;
-      cs_yields = Random.State.int rng 6;
-      ncs_yields = Random.State.int rng 3;
-      max_steps = 3_000_000;
-    }
-  in
-  let res = Rme.Workload.run spec cfg in
-  let weak_lock_ids =
-    (* By construction every registered weakly recoverable lock registers
-       itself first, so its lock id is 0. *)
-    if spec.Rme.Spec.expectation.Rme.Spec.recoverability = `Weak then [ 0 ] else []
-  in
-  let problems = Rme.Check.Props.check_battery res ~requests ~weak_lock_ids in
-  (problems, Fmt.str "n=%d req=%d %a %a" n requests Memory.pp_model model
-               Rme.Workload.pp_scenario scenario)
+  {
+    Rme.Workload.n;
+    requests;
+    model;
+    seed;
+    scenario;
+    record = true;
+    cs_yields = Random.State.int rng 6;
+    ncs_yields = Random.State.int rng 3;
+    max_steps = 3_000_000;
+  }
 
-let repro key seed =
-  let spec = Rme.Spec.find_exn key in
-  let problems, descr = run_one ~spec ~seed in
-  Fmt.pr "repro %s seed=%d: %s@." key seed descr;
-  (* Re-run with the same derived configuration, printing the timeline. *)
-  let rng = Random.State.make [| seed; 0x50a6 |] in
-  let n = 2 + Random.State.int rng 7 in
-  let requests = 2 + Random.State.int rng 5 in
-  let model = if Random.State.bool rng then Memory.CC else Memory.DSM in
-  let scenario =
-    match Random.State.int rng 4 with
-    | 0 -> Rme.Workload.No_failures
-    | 1 -> Rme.Workload.Fas_storm { f = 1 + Random.State.int rng 8; rate = 0.4 }
-    | 2 -> Rme.Workload.Random_storm { crashes = 1 + Random.State.int rng n; rate = 0.008 }
-    | _ ->
-        Rme.Workload.Batch
-          { size = 1 + Random.State.int rng n; at_step = 100; repeat = 1; gap = 0 }
-  in
-  let cfg =
-    {
-      Rme.Workload.n;
-      requests;
-      model;
-      seed;
-      scenario;
-      record = true;
-      cs_yields = Random.State.int rng 6;
-      ncs_yields = Random.State.int rng 3;
-      max_steps = 3_000_000;
-    }
-  in
+let weak_lock_ids (spec : Rme.Spec.t) =
+  (* By construction every registered weakly recoverable lock registers
+     itself first, so its lock id is 0. *)
+  if spec.Rme.Spec.expectation.Rme.Spec.recoverability = `Weak then [ 0 ] else []
+
+let describe cfg =
+  Fmt.str "n=%d req=%d %a %a" cfg.Rme.Workload.n cfg.Rme.Workload.requests Memory.pp_model
+    cfg.Rme.Workload.model Rme.Workload.pp_scenario cfg.Rme.Workload.scenario
+
+let run_one ~spec ~seed =
+  let cfg = derive_cfg ~seed in
   let res = Rme.Workload.run spec cfg in
-  Fmt.pr "%a@." (Rme_check.Timeline.pp ?width:None) res;
-  List.iter (Fmt.pr "VIOLATION: %s@.") problems;
-  if problems = [] then 0 else 1
+  let problems =
+    Rme.Check.Props.check_battery res ~requests:cfg.Rme.Workload.requests
+      ~weak_lock_ids:(weak_lock_ids spec)
+  in
+  (problems, describe cfg)
+
+let selected_specs lock =
+  match lock with
+  | Some key -> [ Rme.Spec.find_exn key ]
+  | None -> List.filter (fun (s : Rme.Spec.t) -> s.crash_safe) Rme.Spec.all
+
+(* --replay: deterministically re-run one recorded case and print the full
+   battery report, engine summary and history timeline. *)
+let replay lock seed =
+  let failed = ref false in
+  List.iter
+    (fun (spec : Rme.Spec.t) ->
+      let cfg = derive_cfg ~seed in
+      let res = Rme.Workload.run spec cfg in
+      let problems =
+        Rme.Check.Props.check_battery res ~requests:cfg.Rme.Workload.requests
+          ~weak_lock_ids:(weak_lock_ids spec)
+      in
+      Fmt.pr "=== %s seed=%d: %s@.%a@.%a@." spec.Rme.Spec.key seed (describe cfg)
+        Engine.pp_summary res
+        (Rme_check.Timeline.pp ?width:None)
+        res;
+      if problems = [] then Fmt.pr "battery clean@."
+      else begin
+        failed := true;
+        List.iter (Fmt.pr "VIOLATION: %s@.") problems
+      end)
+    (selected_specs lock);
+  if !failed then 1 else 0
 
 let soak lock runs seed_base verbose jobs =
-  let specs =
-    match lock with
-    | Some key -> [ Rme.Spec.find_exn key ]
-    | None -> List.filter (fun (s : Rme.Spec.t) -> s.crash_safe) Rme.Spec.all
-  in
+  let specs = selected_specs lock in
   (* One task per (lock, seed); sharded across domains with --jobs > 1.
      run_one is domain-safe (every run builds its own engine, memory and
      seeded RNGs), and results are reported in task order, so the output
@@ -127,9 +135,47 @@ let soak lock runs seed_base verbose jobs =
   end
   else begin
     Fmt.pr "@.%d VIOLATIONS in %d runs:@." (List.length failures) total;
-    List.iter (fun f -> Fmt.pr "  %s seed=%d: %s@." f.lock f.seed f.what) failures;
+    List.iter
+      (fun f ->
+        Fmt.pr "  %s seed=%d: %s@.    (replay: soak --replay %d --lock %s)@." f.lock f.seed
+          f.what f.seed f.lock)
+      failures;
     1
   end
+
+(* --adversary: seeded chaos campaign with the adaptive adversaries; on a
+   violation the campaign replays it against a fixed at-op crash plan and
+   shrinks the schedule witness (see Rme_check.Chaos). *)
+let adversarial lock adv runs seed_base jobs =
+  let adversaries =
+    if String.lowercase_ascii adv = "all" then Chaos.standard_adversaries
+    else
+      match Chaos.adversary_of_string adv with
+      | Ok a -> [ a ]
+      | Error msg ->
+          Fmt.epr "soak: %s@." msg;
+          exit 2
+  in
+  let cfg = Chaos.default_cfg in
+  let cases =
+    List.map
+      (fun (spec : Rme.Spec.t) ->
+        {
+          Chaos.case_name = spec.Rme.Spec.key;
+          case_make = spec.Rme.Spec.make;
+          case_weak = spec.Rme.Spec.expectation.Rme.Spec.recoverability = `Weak;
+          case_ff_bound = Option.map (fun f -> f cfg.Chaos.n) spec.Rme.Spec.ff_bound;
+        })
+      (selected_specs lock)
+  in
+  let outcome =
+    Chaos.campaign ~cfg ~jobs:(max 1 jobs) ~adversaries ~runs ~seed_base cases
+  in
+  Fmt.pr "chaos campaign: %d runs, %d crashes injected, %d violations@." outcome.Chaos.runs
+    outcome.Chaos.crashes
+    (List.length outcome.Chaos.violations);
+  List.iter (fun v -> Fmt.pr "%a@." Chaos.pp_violation v) outcome.Chaos.violations;
+  if outcome.Chaos.violations = [] then 0 else 1
 
 let () =
   let lock =
@@ -149,14 +195,38 @@ let () =
       value
       & opt (some (pair ~sep:':' string int)) None
       & info [ "repro" ] ~docv:"LOCK:SEED"
-          ~doc:"Reproduce one soak case verbosely (prints the timeline) and exit.")
+          ~doc:"Shorthand for --replay SEED --lock LOCK (kept for muscle memory).")
   in
-  let main lock runs seed verbose jobs repro_case =
-    match repro_case with Some (key, s) -> repro key s | None -> soak lock runs seed verbose jobs
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replay" ] ~docv:"SEED"
+          ~doc:
+            "Deterministically re-run the soak case of $(docv) (restrict with --lock) and \
+             print the full battery report, engine summary and history timeline.")
+  in
+  let adversary_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "adversary" ] ~docv:"ADV"
+          ~doc:
+            "Run an adaptive chaos campaign instead of the oblivious soak: \
+             holder|window|offender|storm|all.  Violations are replayed against a \
+             deterministic at-op crash plan and shrunk to a minimal schedule witness.")
+  in
+  let main lock runs seed verbose jobs repro_case replay_seed adversary =
+    match (repro_case, replay_seed, adversary) with
+    | Some (key, s), _, _ -> replay (Some key) s
+    | None, Some s, _ -> replay lock s
+    | None, None, Some adv -> adversarial lock adv runs seed jobs
+    | None, None, None -> soak lock runs seed verbose jobs
   in
   let cmd =
     Cmd.v
       (Cmd.info "soak" ~doc:"Randomized soak/fuzz campaign over the lock registry.")
-      Term.(const main $ lock $ runs $ seed $ verbose $ jobs $ repro_arg)
+      Term.(
+        const main $ lock $ runs $ seed $ verbose $ jobs $ repro_arg $ replay_arg $ adversary_arg)
   in
   exit (Cmd.eval' cmd)

@@ -1,0 +1,214 @@
+open Rme_sim
+
+type adversary =
+  | Holder of { rate : float; max_crashes : int }
+  | Window of { rate : float; max_crashes : int }
+  | Offender of { victim : int; gap : int; times : int }
+  | Storm of { rate : float; max_crashes : int; gap : int; backoff : float }
+
+let pp_adversary ppf = function
+  | Holder { rate; max_crashes } -> Fmt.pf ppf "holder(rate=%g,max=%d)" rate max_crashes
+  | Window { rate; max_crashes } -> Fmt.pf ppf "window(rate=%g,max=%d)" rate max_crashes
+  | Offender { victim; gap; times } ->
+      Fmt.pf ppf "offender(p%d,gap=%d,times=%d)" victim gap times
+  | Storm { rate; max_crashes; gap; backoff } ->
+      Fmt.pf ppf "storm(rate=%g,max=%d,gap=%d,backoff=%g)" rate max_crashes gap backoff
+
+let standard_adversaries =
+  [
+    Holder { rate = 0.05; max_crashes = 8 };
+    Window { rate = 0.25; max_crashes = 4 };
+    Offender { victim = 0; gap = 4; times = 5 };
+    Storm { rate = 0.004; max_crashes = 8; gap = 300; backoff = 2.0 };
+  ]
+
+let adversary_of_string s =
+  match String.lowercase_ascii s with
+  | "holder" -> Ok (Holder { rate = 0.05; max_crashes = 8 })
+  | "window" -> Ok (Window { rate = 0.25; max_crashes = 4 })
+  | "offender" -> Ok (Offender { victim = 0; gap = 4; times = 5 })
+  | "storm" -> Ok (Storm { rate = 0.004; max_crashes = 8; gap = 300; backoff = 2.0 })
+  | other -> Error (Printf.sprintf "unknown adversary %S (holder|window|offender|storm)" other)
+
+let plan adv ~seed =
+  match adv with
+  | Holder { rate; max_crashes } -> Crash.target_holder ~seed ~rate ~max_crashes ()
+  | Window { rate; max_crashes } -> Crash.target_window ~seed ~rate ~max_crashes ()
+  | Offender { victim; gap; times } -> Crash.repeat_offender ~victim ~gap ~times
+  | Storm { rate; max_crashes; gap; backoff } ->
+      Crash.storm ~seed ~rate ~max_crashes ~gap ~backoff ()
+
+type cfg = {
+  n : int;
+  requests : int;
+  model : Memory.model;
+  cs_yields : int;
+  max_steps : int;
+}
+
+let default_cfg = { n = 4; requests = 3; model = Memory.CC; cs_yields = 3; max_steps = 400_000 }
+
+let cs_of cfg ~pid:_ =
+  for _ = 1 to cfg.cs_yields do
+    Api.yield ()
+  done
+
+type run = { res : Engine.result; fired : Crash.fired list; decisions : int list }
+
+let run_one cfg ~make ~adversary ~seed =
+  let decisions = Vec.create () in
+  let crash, fired = Crash.record_fired (plan adversary ~seed) in
+  let sched = Sched.recording ~inner:(Sched.random ~seed) ~decisions in
+  let res =
+    Harness.run_lock ~record:true ~max_steps:cfg.max_steps ~cs:(cs_of cfg) ~n:cfg.n
+      ~model:cfg.model ~sched ~crash ~requests:cfg.requests ~make ()
+  in
+  { res; fired = fired (); decisions = Vec.to_list decisions }
+
+let replay cfg ~make ~fired ~decisions =
+  let mismatch = ref false in
+  let sched = Sched.trace ~mismatch ~decisions:(Vec.of_list decisions) ~record:(Vec.create ()) () in
+  let res =
+    Harness.run_lock ~record:true ~max_steps:cfg.max_steps ~cs:(cs_of cfg) ~n:cfg.n
+      ~model:cfg.model ~sched ~crash:(Crash.replay_fired fired) ~requests:cfg.requests ~make ()
+  in
+  (res, !mismatch)
+
+let shrink_witness cfg ~make ~fired ~check trace =
+  Explore.shrink
+    ~reproduces:(fun t ->
+      let res, mismatch = replay cfg ~make ~fired ~decisions:t in
+      (not mismatch) && check res <> None)
+    trace
+
+type case = {
+  case_name : string;
+  case_make : Engine.Ctx.t -> Harness.lock;
+  case_weak : bool;
+  case_ff_bound : int option;
+}
+
+let battery case ~requests res =
+  let weak_lock_ids = if case.case_weak then [ 0 ] else [] in
+  Props.check_battery res ~requests ~weak_lock_ids
+  @
+  match case.case_ff_bound with
+  | None -> []
+  | Some bound -> (
+      match Props.failure_free_rmr res ~bound with
+      | None -> []
+      | Some msg -> [ "ff-rmr: " ^ msg ])
+
+type violation = {
+  v_case : string;
+  v_adversary : adversary;
+  v_seed : int;
+  v_problems : string list;
+  v_fired : Crash.fired list;
+  v_replay_ok : bool;
+  v_witness : int list;
+  v_detect_steps : int;
+}
+
+let pp_point ppf = function
+  | Crash.Before -> Fmt.string ppf "before"
+  | Crash.After -> Fmt.string ppf "after"
+
+let pp_fired ppf (f : Crash.fired) =
+  Fmt.pf ppf "p%d@op%d(%a,step %d)" f.f_pid f.f_op_index pp_point f.f_point f.f_step
+
+let pp_violation ppf v =
+  Fmt.pf ppf "@[<v2>%s seed=%d adversary=%a:@,%a@,fired: %a@,replay %s, witness %d decisions@]"
+    v.v_case v.v_seed pp_adversary v.v_adversary
+    Fmt.(list ~sep:cut string)
+    v.v_problems
+    Fmt.(list ~sep:(any " ") pp_fired)
+    v.v_fired
+    (if v.v_replay_ok then "confirmed" else "UNFAITHFUL")
+    (List.length v.v_witness)
+
+type outcome = {
+  runs : int;
+  crashes : int;
+  detect_steps : int;
+  detect_runs : int;
+  violations : violation list;
+}
+
+(* The property a problem string reports, e.g. "mutual-exclusion". *)
+let prop_of problem =
+  match String.index_opt problem ':' with
+  | Some i -> String.sub problem 0 i
+  | None -> problem
+
+let confirm_and_shrink cfg case ~requests (adv : adversary) ~seed (r : run) problems =
+  let prop = prop_of (List.hd problems) in
+  let check res =
+    if List.exists (fun p -> prop_of p = prop) (battery case ~requests res) then Some prop
+    else None
+  in
+  let replay_res, mismatch = replay cfg ~make:case.case_make ~fired:r.fired ~decisions:r.decisions in
+  let replay_ok = (not mismatch) && check replay_res <> None in
+  let witness =
+    if replay_ok then shrink_witness cfg ~make:case.case_make ~fired:r.fired ~check r.decisions
+    else r.decisions
+  in
+  {
+    v_case = case.case_name;
+    v_adversary = adv;
+    v_seed = seed;
+    v_problems = problems;
+    v_fired = r.fired;
+    v_replay_ok = replay_ok;
+    v_witness = witness;
+    v_detect_steps =
+      (match r.fired with [] -> 0 | f :: _ -> r.res.Engine.steps - f.Crash.f_step);
+  }
+
+let campaign ?(cfg = default_cfg) ?(jobs = 1) ~adversaries ~runs ~seed_base cases =
+  let tasks =
+    Array.of_list
+      (List.concat_map
+         (fun case ->
+           List.concat_map
+             (fun adv -> List.init runs (fun i -> (case, adv, seed_base + i)))
+             adversaries)
+         cases)
+  in
+  (* Each task is independent and seeded; Pool reports in task order, so
+     the outcome does not depend on the domain count. *)
+  let results =
+    Pool.map ~domains:(max 1 jobs) ~tasks (fun ~index:_ ~stop:_ (case, adv, seed) ->
+        let r = run_one cfg ~make:case.case_make ~adversary:adv ~seed in
+        let problems = battery case ~requests:cfg.requests r.res in
+        let v =
+          if problems = [] then None
+          else Some (confirm_and_shrink cfg case ~requests:cfg.requests adv ~seed r problems)
+        in
+        let detect =
+          match r.fired with [] -> None | f :: _ -> Some (r.res.Engine.steps - f.Crash.f_step)
+        in
+        (r.res.Engine.total_crashes, detect, v))
+  in
+  let runs_done = ref 0 and crashes = ref 0 and violations = ref [] in
+  let detect_steps = ref 0 and detect_runs = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (c, detect, v) ->
+          incr runs_done;
+          crashes := !crashes + c;
+          (match detect with
+          | Some d ->
+              detect_steps := !detect_steps + d;
+              incr detect_runs
+          | None -> ());
+          (match v with Some v -> violations := v :: !violations | None -> ()))
+    results;
+  {
+    runs = !runs_done;
+    crashes = !crashes;
+    detect_steps = !detect_steps;
+    detect_runs = !detect_runs;
+    violations = List.rev !violations;
+  }

@@ -1,0 +1,157 @@
+(** Adversarial chaos campaigns: adaptive crash adversaries hunting for
+    property violations, with a deterministic replay-and-shrink bridge.
+
+    The oblivious plans the rest of the suite uses (fixed sites, blind
+    storms) exercise the common case; the paper's guarantees, however, are
+    stated against {e adversaries} — weak recoverability tolerates crashes
+    anywhere (Theorem 4.2), super-adaptivity prices level escalation in
+    failures (Theorem 5.17).  This module drives the execution-observing
+    plans of {!Rme_sim.Crash} ({!Rme_sim.Crash.target_holder},
+    {!Rme_sim.Crash.target_window}, {!Rme_sim.Crash.repeat_offender},
+    {!Rme_sim.Crash.storm}) over lock cases under a recorded random
+    scheduler, checks the full property battery plus the
+    adaptivity-contract monitors on every run, and — when a violation
+    surfaces — converts the crashes the adversary actually fired into a
+    composite {!Rme_sim.Crash.at_op} plan, re-confirms that this fixed plan
+    replays the violation under the recorded schedule, and hands the
+    decision vector to {!Explore.shrink} for a minimal witness.
+
+    Everything is seeded: a campaign is a pure function of its
+    configuration, and every reported witness replays deterministically. *)
+
+open Rme_sim
+
+(** {1 Adversaries} *)
+
+type adversary =
+  | Holder of { rate : float; max_crashes : int }
+      (** kill processes inside a lock's acquire→release span *)
+  | Window of { rate : float; max_crashes : int }
+      (** kill processes while a sensitive window is open: every crash is
+          an unsafe failure *)
+  | Offender of { victim : int; gap : int; times : int }
+      (** re-crash one recovering process [gap] instructions into every
+          restarted passage, [times] crashes total *)
+  | Storm of { rate : float; max_crashes : int; gap : int; backoff : float }
+      (** random crashes with a cooldown gap that scales by [backoff] *)
+
+val pp_adversary : adversary Fmt.t
+
+val adversary_of_string : string -> (adversary, string) result
+(** Parses the CLI names [holder], [window], [offender], [storm] (with the
+    default parameters of {!standard_adversaries}). *)
+
+val standard_adversaries : adversary list
+(** One of each, with campaign-tuned default parameters. *)
+
+val plan : adversary -> seed:int -> Crash.t
+(** Instantiate the (stateful) crash plan — fresh per run. *)
+
+(** {1 One adversarial run} *)
+
+type cfg = {
+  n : int;
+  requests : int;
+  model : Memory.model;
+  cs_yields : int;  (** yields inside the critical section (overlap window) *)
+  max_steps : int;
+}
+
+val default_cfg : cfg
+
+type run = {
+  res : Engine.result;
+  fired : Crash.fired list;  (** crashes the adversary fired, in order *)
+  decisions : int list;  (** recorded schedule, {!Sched.trace} encoding *)
+}
+
+val run_one : cfg -> make:(Engine.Ctx.t -> Harness.lock) -> adversary:adversary -> seed:int -> run
+(** One seeded adversarial run: the adversary's plan under a recorded
+    random scheduler, with history recording on so the event-based
+    checkers apply. *)
+
+val replay :
+  cfg ->
+  make:(Engine.Ctx.t -> Harness.lock) ->
+  fired:Crash.fired list ->
+  decisions:int list ->
+  Engine.result * bool
+(** Deterministic re-execution: the recorded schedule under
+    {!Sched.trace}, the recorded crashes as a fresh composite
+    {!Crash.replay_fired} plan.  Returns the result and whether the replay
+    {e diverged} from the recorded branching structure ([true] = mismatch;
+    reject the replay as unfaithful). *)
+
+val shrink_witness :
+  cfg ->
+  make:(Engine.Ctx.t -> Harness.lock) ->
+  fired:Crash.fired list ->
+  check:(Engine.result -> string option) ->
+  int list ->
+  int list
+(** {!Explore.shrink} over faithful replays: minimise the decision vector
+    while the composite crash plan still reproduces a violation of
+    [check].  Returns the input unchanged if it does not reproduce. *)
+
+(** {1 Campaign} *)
+
+type case = {
+  case_name : string;
+  case_make : Engine.Ctx.t -> Harness.lock;
+  case_weak : bool;
+      (** application lock is weakly recoverable: check the interval form
+          of ME (consequence intervals) instead of plain ME *)
+  case_ff_bound : int option;
+      (** failure-free per-passage RMR contract, if the lock states one *)
+}
+
+val battery : case -> requests:int -> Engine.result -> string list
+(** {!Props.check_battery} (with the weak interval form when [case_weak])
+    plus the {!Props.failure_free_rmr} contract when stated — the check a
+    campaign applies to every adversarial run. *)
+
+type violation = {
+  v_case : string;
+  v_adversary : adversary;
+  v_seed : int;
+  v_problems : string list;  (** battery report of the discovering run *)
+  v_fired : Crash.fired list;
+  v_replay_ok : bool;
+      (** the deterministic composite plan re-triggered a violation of the
+          same property under the recorded schedule *)
+  v_witness : int list;
+      (** shrunk decision vector (= the recorded one when [not v_replay_ok]) *)
+  v_detect_steps : int;
+      (** engine steps from the first injected crash to the end of the
+          discovering run — the detection latency of the campaign *)
+}
+
+val pp_violation : violation Fmt.t
+
+type outcome = {
+  runs : int;
+  crashes : int;  (** crashes injected across all runs *)
+  detect_steps : int;
+      (** summed engine steps from the first injected crash of a run to
+          the end of that run — over the [detect_runs] runs in which the
+          adversary fired.  [detect_steps / detect_runs] is the campaign's
+          mean detection latency: how long after an injection the battery
+          verdict on its consequences lands. *)
+  detect_runs : int;
+  violations : violation list;
+}
+
+val campaign :
+  ?cfg:cfg ->
+  ?jobs:int ->
+  adversaries:adversary list ->
+  runs:int ->
+  seed_base:int ->
+  case list ->
+  outcome
+(** [campaign ~adversaries ~runs ~seed_base cases] runs [runs] seeded runs
+    for every (case, adversary) pair — seeds [seed_base] to
+    [seed_base + runs - 1] — and post-processes each violation through the
+    replay-confirm-shrink pipeline.  [jobs] shards the runs over OCaml
+    domains via {!Pool} (default 1; the outcome is independent of the
+    domain count). *)

@@ -13,9 +13,9 @@ let lock_mutual_exclusion (res : Engine.result) ~lock_id =
          s.Engine.max_occupancy)
 
 let starvation_freedom (res : Engine.result) ~requests =
-  if res.Engine.deadlocked then Some "deadlock"
-  else if res.Engine.timed_out then Some "timed out (possible livelock)"
-  else
+  match res.Engine.stall with
+  | Some s -> Some (Fmt.str "%a" Engine.pp_stall s)
+  | None ->
     let bad = ref None in
     Array.iteri
       (fun pid (p : Engine.proc_stats) ->
@@ -239,6 +239,36 @@ let fcfs (res : Engine.result) ~tail_cell =
          Fmt.(Dump.list int)
          cs_order)
 
+let super_adaptivity (res : Engine.result) =
+  let x =
+    Array.fold_left (fun acc (p : Engine.proc_stats) -> max acc p.max_level) 0 res.Engine.procs
+  in
+  let need = x * (x - 1) / 2 in
+  if res.Engine.total_crashes >= need then None
+  else
+    Some
+      (Printf.sprintf "level %d reached with only %d crashes (Theorem 5.17 needs >= %d)" x
+         res.Engine.total_crashes need)
+
+let failure_free_rmr (res : Engine.result) ~bound =
+  if res.Engine.total_crashes > 0 then None
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun pid (p : Engine.proc_stats) ->
+        if !bad = None then
+          List.iter
+            (fun (pass : Engine.passage) ->
+              if !bad = None && pass.rmr > bound then
+                bad :=
+                  Some
+                    (Printf.sprintf "p%d: failure-free passage cost %d > %d RMRs" pid pass.rmr
+                       bound))
+            p.passages)
+      res.Engine.procs;
+    !bad
+  end
+
 let all_satisfied (res : Engine.result) ~n ~requests =
   (not res.Engine.deadlocked) && (not res.Engine.timed_out)
   && Engine.total_completed res = n * requests
@@ -255,6 +285,7 @@ let check_battery (res : Engine.result) ~requests ~weak_lock_ids =
             (fun acc id -> match acc with Some _ -> acc | None -> weak_me_intervals res ~lock_id:id)
             None weak_lock_ids );
       ("starvation-freedom", starvation_freedom res ~requests);
+      ("super-adaptivity", super_adaptivity res);
     ]
   in
   List.filter_map (fun (name, r) -> Option.map (fun msg -> name ^ ": " ^ msg) r) battery

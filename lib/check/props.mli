@@ -18,7 +18,10 @@ val lock_mutual_exclusion : Engine.result -> lock_id:int -> string option
 
 val starvation_freedom : Engine.result -> requests:int -> string option
 (** Every process satisfied [requests] requests and the run neither
-    deadlocked nor timed out. *)
+    deadlocked nor timed out.  When the run ended abnormally, the message
+    is the engine watchdog's diagnosis ({!Engine.stall}): deadlock /
+    livelock / starvation / underbudget, with the culprit pids and the
+    segment each is stuck in — never a bare "timed out". *)
 
 val responsiveness : Engine.result -> lock_id:int -> string option
 (** Theorem 4.2 (coarse form): the lock's maximum simultaneous occupancy k+1
@@ -51,6 +54,24 @@ val fcfs : Engine.result -> tail_cell:string -> string option
     [tail_cell]) order (requires [trace_ops]).  Only meaningful for the
     MCS-family locks driven as the application lock. *)
 
+(** {1 Adaptivity-contract monitors} *)
+
+val super_adaptivity : Engine.result -> string option
+(** Theorem 5.17: reaching BA-Lock level x is possible only after at least
+    x(x−1)/2 failures — each promotion from level l to l+1 needs l unsafe
+    failures' worth of filter overlap below it.  The monitor checks
+    [max_level] x against [total_crashes] ≥ x(x−1)/2 (crashes upper-bound
+    unsafe failures, so a history passing the crash form can only be more
+    compliant in the failure form).  Vacuous for locks that never emit
+    [Level] notes. *)
+
+val failure_free_rmr : Engine.result -> bound:int -> string option
+(** The paper's Table 1 contract that failure-free passages cost O(1) RMR:
+    in a history with no crashes at all, every passage's RMR count must be
+    ≤ [bound].  Vacuous (always [None]) when the history contains crashes,
+    since crashed and post-crash passages may legitimately pay the adaptive
+    slow path. *)
+
 val all_satisfied : Engine.result -> n:int -> requests:int -> bool
 (** Convenience: completed = n × requests, no deadlock, no timeout. *)
 
@@ -58,4 +79,5 @@ val check_battery :
   Engine.result -> requests:int -> weak_lock_ids:int list -> string list
 (** The standard battery: mutual exclusion (or, for weakly recoverable
     application locks, the interval form over [weak_lock_ids]) plus
-    starvation freedom.  Returns the violations found ([[]] = clean). *)
+    starvation freedom plus the super-adaptivity monitor.  Returns the
+    violations found ([[]] = clean). *)

@@ -9,6 +9,7 @@ type op_info = {
   kind : Api.kind;
   cell : string option;
   note : Event.note option;
+  unsafe_wrt : int list;
 }
 
 type t = {
@@ -155,6 +156,128 @@ let every_nth_passage ~pid ~period ~max_crashes =
     async = no_async;
   }
 
+let target_holder ?lock ~seed ~rate ~max_crashes () =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Crash.target_holder: rate must be in [0, 1]";
+  let rng = Random.State.make [| seed; 0x401de2 |] in
+  let budget = ref max_crashes in
+  let inside : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let matches id = match lock with None -> true | Some l -> l = id in
+  {
+    label = Printf.sprintf "holder(rate=%g,max=%d)" rate max_crashes;
+    on_op =
+      (fun info ->
+        (* Track the span before deciding, so the entering note itself is a
+           valid strike point.  A fresh [Ncs_begin]/[Req_begin] clears the
+           mark: a crash (ours or another plan's) restarts the body, and the
+           stale span must not leak into the victim's NCS. *)
+        (match info.note with
+        | Some (Event.Lock_enter id) when matches id -> Hashtbl.replace inside info.pid ()
+        | Some (Event.Lock_released id) when matches id -> Hashtbl.remove inside info.pid
+        | Some (Event.Seg (Event.Ncs_begin | Event.Req_begin)) -> Hashtbl.remove inside info.pid
+        | _ -> ());
+        if !budget > 0 && Hashtbl.mem inside info.pid && Random.State.float rng 1.0 < rate
+        then begin
+          decr budget;
+          Crash (if Random.State.bool rng then Before else After)
+        end
+        else No_crash);
+    async = no_async;
+  }
+
+let target_window ~seed ~rate ~max_crashes () =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Crash.target_window: rate must be in [0, 1]";
+  let rng = Random.State.make [| seed; 0x7a26e7 |] in
+  let budget = ref max_crashes in
+  {
+    label = Printf.sprintf "window(rate=%g,max=%d)" rate max_crashes;
+    on_op =
+      (fun info ->
+        (* [Before] keeps the crash strictly inside the open window: crashing
+           After the instruction that closes it would land outside. *)
+        if !budget > 0 && info.unsafe_wrt <> [] && Random.State.float rng 1.0 < rate then begin
+          decr budget;
+          Crash Before
+        end
+        else No_crash);
+    async = no_async;
+  }
+
+let repeat_offender ~victim ~gap ~times =
+  if gap < 0 then invalid_arg "Crash.repeat_offender: gap must be non-negative";
+  let budget = ref times in
+  let countdown = ref (-1) in
+  {
+    label = Printf.sprintf "repeat-offender(p%d,gap=%d,times=%d)" victim gap times;
+    on_op =
+      (fun info ->
+        if info.pid <> victim || !budget <= 0 then No_crash
+        else begin
+          (match info.note with
+          | Some (Event.Seg Event.Req_begin) when !countdown < 0 -> countdown := gap
+          | _ -> ());
+          if !countdown = 0 then begin
+            (* Re-arm immediately: the next strike lands [gap] victim
+               instructions into the restarted (recovering) passage. *)
+            countdown := gap;
+            decr budget;
+            Crash After
+          end
+          else begin
+            if !countdown > 0 then decr countdown;
+            No_crash
+          end
+        end);
+    async = no_async;
+  }
+
+let storm ~seed ~rate ~max_crashes ~gap ?(backoff = 1.0) ?pids () =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Crash.storm: rate must be in [0, 1]";
+  if gap < 0 then invalid_arg "Crash.storm: gap must be non-negative";
+  if backoff < 1.0 then invalid_arg "Crash.storm: backoff must be >= 1";
+  let rng = Random.State.make [| seed; 0x5702e0 |] in
+  let budget = ref max_crashes in
+  let next_ok = ref 0 in
+  let cur_gap = ref (float_of_int gap) in
+  let eligible =
+    match pids with None -> fun _ -> true | Some ps -> fun pid -> List.mem pid ps
+  in
+  {
+    label = Printf.sprintf "storm(rate=%g,max=%d,gap=%d,backoff=%g)" rate max_crashes gap backoff;
+    on_op =
+      (fun info ->
+        if
+          !budget > 0 && info.step >= !next_ok && eligible info.pid
+          && Random.State.float rng 1.0 < rate
+        then begin
+          decr budget;
+          next_ok := info.step + int_of_float !cur_gap;
+          cur_gap := !cur_gap *. backoff;
+          Crash (if Random.State.bool rng then Before else After)
+        end
+        else No_crash);
+    async = no_async;
+  }
+
+type fired = { f_pid : int; f_op_index : int; f_step : int; f_point : point }
+
+let record_fired plan =
+  let fired = ref [] in
+  let wrapped =
+    {
+      plan with
+      on_op =
+        (fun info ->
+          match plan.on_op info with
+          | No_crash -> No_crash
+          | Crash point as c ->
+              fired :=
+                { f_pid = info.pid; f_op_index = info.op_index; f_step = info.step; f_point = point }
+                :: !fired;
+              c);
+    }
+  in
+  (wrapped, fun () -> List.rev !fired)
+
 let all plans =
   {
     label = String.concat "+" (List.map (fun p -> p.label) plans);
@@ -167,3 +290,10 @@ let all plans =
         loop plans);
     async = (fun ~step -> List.concat_map (fun p -> p.async ~step) plans);
   }
+
+let replay_fired fired =
+  match fired with
+  | [] -> none
+  | _ ->
+      let plans = List.map (fun f -> at_op ~pid:f.f_pid ~nth:f.f_op_index f.f_point) fired in
+      { (all plans) with label = Printf.sprintf "replay-fired(%d)" (List.length fired) }

@@ -29,6 +29,13 @@ type op_info = {
   kind : Api.kind;
   cell : string option;  (** name of the touched cell, if any *)
   note : Event.note option;  (** payload when [kind = Note] *)
+  unsafe_wrt : int list;
+      (** ids of the locks whose sensitive window ({!Api.fas_open_unsafe} …
+          {!Api.write_close_unsafe}) the process has open as this
+          instruction is about to execute — the engine's view {e before}
+          the instruction is applied.  Non-empty means "crashing this
+          process right now is an unsafe failure" (§2.2), which is what an
+          execution-aware adversary needs to aim at the window. *)
 }
 
 type t
@@ -83,6 +90,80 @@ val batch : step:int -> pids:int list -> t
 val every_nth_passage : pid:int -> period:int -> max_crashes:int -> t
 (** Crash [pid] just after the [Req_begin] of every [period]-th passage —
     a steady per-process failure pulse used by the adaptivity sweeps. *)
+
+(** {1 Adaptive adversaries}
+
+    Execution-observing plans: rather than firing at fixed sites or blindly
+    at random, they watch the milestones and window state carried by
+    {!op_info} and aim where the algorithms are most exposed.  All are
+    seeded and deterministic (given a deterministic scheduler), and all
+    decide through [on_op] only — never asynchronously — so every crash
+    they fire can be replayed exactly by an {!at_op} plan (see
+    {!record_fired}). *)
+
+val target_holder : ?lock:int -> seed:int -> rate:float -> max_crashes:int -> unit -> t
+(** Crash processes only while they are inside a lock's acquire→release
+    span — from [Lock_enter] to [Lock_released], i.e. the acquisition hot
+    path, the critical section, and the handoff — with probability [rate]
+    per instruction (point uniformly Before/After), up to [max_crashes].
+    [lock] restricts the tracking to one lock id (default: any registered
+    lock).  This is the "kill the holder" adversary: it concentrates
+    failures on queue surgery, ownership transfer, and the sensitive FAS
+    that all live inside the span. *)
+
+val target_window : seed:int -> rate:float -> max_crashes:int -> unit -> t
+(** Crash a process with probability [rate] per instruction it executes
+    {e while one of its sensitive windows is open} ([unsafe_wrt] ≠ []) —
+    every crash this plan fires is an unsafe failure.  Crashes strike
+    [Before] the instruction so they always land strictly inside the
+    window.  This is the worst-case adversary of Theorem 4.2 (weak locks
+    may break) and the failure currency of Theorems 5.17–5.19. *)
+
+val repeat_offender : victim:int -> gap:int -> times:int -> t
+(** Failures during recovery (§2.2 allows them; most RME papers' hard
+    case): crash [victim] just after the [Req_begin] of its first passage,
+    then re-crash it [gap] instructions into {e every} restarted passage,
+    [times] crashes in total.  Deterministic — no RNG.  A recoverable lock
+    must absorb the whole pulse train and still satisfy the victim's
+    request once the budget is exhausted. *)
+
+val storm :
+  seed:int ->
+  rate:float ->
+  max_crashes:int ->
+  gap:int ->
+  ?backoff:float ->
+  ?pids:int list ->
+  unit ->
+  t
+(** Like {!random} but with a cooldown schedule: after each crash, no
+    further crash fires for [gap] global steps, and each firing multiplies
+    the current gap by [backoff] (default 1.0 — constant gap; must be
+    ≥ 1).  Models failure bursts that thin out over time, the regime where
+    BA-Lock's level budgets are meant to recover. *)
+
+(** {1 Recording and replay} *)
+
+type fired = {
+  f_pid : int;
+  f_op_index : int;  (** absolute per-process index — the [nth] of {!at_op} *)
+  f_step : int;  (** global step at which the crash fired *)
+  f_point : point;
+}
+(** One crash actually fired by a plan's [on_op], identified by the
+    process-local coordinates that make it deterministically replayable. *)
+
+val record_fired : t -> t * (unit -> fired list)
+(** [record_fired plan] wraps [plan] so every crash its [on_op] fires is
+    captured; the returned thunk lists them in firing order.  Asynchronous
+    crashes ([async]) are {e not} captured — the adaptive adversaries above
+    fire through [on_op] only, so for them the record is complete. *)
+
+val replay_fired : fired list -> t
+(** The deterministic composite of a recorded run: one {!at_op} per fired
+    crash, unioned.  Under the same scheduler decisions it re-injects
+    exactly the same failures — the bridge from adversarial discovery to a
+    fixed, shrinkable witness. *)
 
 val all : t list -> t
 (** Union of plans; the first crash decision wins. *)

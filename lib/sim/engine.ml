@@ -19,6 +19,21 @@ type proc_stats = { passages : passage list; crashes : int; completed : int; max
 
 type lock_stats = { lock_name : string; max_occupancy : int; unsafe_crashes : int }
 
+type stall_kind = Deadlock | Livelock | Starvation | Underbudget
+
+type stall = { stall_kind : stall_kind; culprits : (int * string) list }
+
+let pp_stall_kind ppf = function
+  | Deadlock -> Fmt.string ppf "deadlock"
+  | Livelock -> Fmt.string ppf "livelock"
+  | Starvation -> Fmt.string ppf "starvation"
+  | Underbudget -> Fmt.string ppf "underbudget"
+
+let pp_stall ppf s =
+  Fmt.pf ppf "%a: %a" pp_stall_kind s.stall_kind
+    Fmt.(list ~sep:(any ", ") (fun ppf (pid, seg) -> pf ppf "p%d[%s]" pid seg))
+    s.culprits
+
 type result = {
   steps : int;
   total_rmr : int;
@@ -29,6 +44,7 @@ type result = {
   cs_max : int;
   deadlocked : bool;
   timed_out : bool;
+  stall : stall option;
   events : Event.t list;
 }
 
@@ -46,6 +62,7 @@ type t = {
   record : bool;
   trace_ops : bool;
   max_steps : int;
+  stall_window : int;
   on_crash : pid:int -> step:int -> unit;
   on_op : Crash.op_info -> unit;
   body : pid:int -> unit;
@@ -54,6 +71,8 @@ type t = {
   op_index : int array;
   completed : int array;
   crashes : int array;
+  last_progress : int array;  (* step of each pid's last satisfied request; -1 if none *)
+  last_sched : int array;  (* step at which each pid last took a step; -1 if never *)
   unsafe_open : int list array;
   holding : int list array;
   in_passage : bool array;
@@ -158,6 +177,7 @@ let handle_note eng pid (n : Event.note) =
       end
   | Seg Req_done ->
       eng.completed.(pid) <- eng.completed.(pid) + 1;
+      eng.last_progress.(pid) <- eng.step;
       close_passage eng pid ~completed:true
   | Lock_acquired id -> enter_lock_cs eng pid id
   | Lock_release id -> leave_lock_cs eng pid id
@@ -300,6 +320,7 @@ let op_info : type a. t -> int -> a Api.view -> Crash.op_info =
       kind = Api.kind_of_view view;
       cell = (match Api.cell_of_view view with Some c -> Some c.Cell.name | None -> None);
       note = (match view with Api.V_note n -> Some n | _ -> None);
+      unsafe_wrt = eng.unsafe_open.(pid);
     }
   in
   eng.op_index.(pid) <- eng.op_index.(pid) + 1;
@@ -359,6 +380,52 @@ let runnable eng =
   done;
   Array.of_list !out
 
+(* Where is [pid] right now, for the watchdog's culprit report. *)
+let segment eng pid =
+  let base =
+    if eng.in_app_cs.(pid) then "cs"
+    else if not eng.in_passage.(pid) then "ncs"
+    else if eng.holding.(pid) <> [] then
+      Printf.sprintf "holding(%s)"
+        (String.concat "," (List.map (fun id -> eng.lock_names.(id)) eng.holding.(pid)))
+    else "entry"
+  in
+  match eng.states.(pid) with
+  | Parked p -> Printf.sprintf "%s parked@%s" base p.pcell.Cell.name
+  | Start | Ready _ | Woken _ | Halted -> base
+
+(* Diagnose an abnormal end state.  Deadlock is structural (every live
+   process parked).  On timeout, progress within the trailing
+   [stall_window] steps separates the verdicts: some processes progressed
+   while others did not — starvation, blame the left-behind; nobody
+   progressed but processes are still being scheduled — livelock; everyone
+   progressed recently — the run was healthy and simply ran out of step
+   budget. *)
+let classify_stall eng =
+  let live = ref [] in
+  for pid = eng.n - 1 downto 0 do
+    match eng.states.(pid) with
+    | Halted -> ()
+    | Start | Ready _ | Woken _ | Parked _ -> live := pid :: !live
+  done;
+  let live = !live in
+  let report kind pids = Some { stall_kind = kind; culprits = List.map (fun p -> (p, segment eng p)) pids } in
+  if eng.deadlocked then report Deadlock live
+  else if not eng.timed_out then None
+  else begin
+    let horizon = eng.step - eng.stall_window in
+    let progressed p = eng.last_progress.(p) >= horizon in
+    let starved = List.filter (fun p -> not (progressed p)) live in
+    if starved = [] then report Underbudget live
+    else if List.exists progressed live then report Starvation starved
+    else begin
+      (* Nobody progressed: livelock.  Blame the processes still burning
+         steps; if even scheduling stopped reaching them, blame all live. *)
+      let spinning = List.filter (fun p -> eng.last_sched.(p) >= horizon) live in
+      report Livelock (if spinning = [] then live else spinning)
+    end
+  end
+
 let finish eng =
   let procs =
     Array.init eng.n (fun pid ->
@@ -390,6 +457,7 @@ let finish eng =
     cs_max = eng.global_cs_max;
     deadlocked = eng.deadlocked;
     timed_out = eng.timed_out;
+    stall = classify_stall eng;
     events = Vec.to_list eng.events;
   }
 
@@ -402,9 +470,12 @@ let finish eng =
    [sched], [crash], [setup] and [body] arguments are themselves
    domain-safe: a stateful scheduler or crash plan must be built fresh per
    run, and the closures must not capture shared mutable state. *)
-let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000)
+let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_window
     ?(on_crash = fun ~pid:_ ~step:_ -> ()) ?(on_op = fun _ -> ()) ~n ~model ~sched ~crash ~setup
     ~body () =
+  let stall_window =
+    match stall_window with Some w -> w | None -> max 1_000 (max_steps / 8)
+  in
   let mem = Memory.create model ~n in
   let ctx = { Ctx.mem; lock_names = Vec.create () } in
   let shared = setup ctx in
@@ -418,6 +489,7 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000)
       record = record || trace_ops;
       trace_ops;
       max_steps;
+      stall_window;
       on_crash;
       on_op;
       body = (fun ~pid -> body shared ~pid);
@@ -426,6 +498,8 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000)
       op_index = Array.make n 0;
       completed = Array.make n 0;
       crashes = Array.make n 0;
+      last_progress = Array.make n (-1);
+      last_sched = Array.make n (-1);
       unsafe_open = Array.make n [];
       holding = Array.make n [];
       in_passage = Array.make n false;
@@ -462,6 +536,7 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000)
     else if eng.step >= eng.max_steps then eng.timed_out <- true
     else begin
       let pid = Sched.pick eng.sched ~runnable:ready ~step:eng.step in
+      eng.last_sched.(pid) <- eng.step;
       step_process eng pid;
       eng.step <- eng.step + 1;
       loop ()
@@ -514,9 +589,11 @@ let percentile sorted q =
 
 let pp_summary ppf res =
   Fmt.pf ppf
-    "@[<v>steps=%d rmr=%d crashes=%d completed=%d cs_max=%d deadlocked=%b timed_out=%b@,%a@]"
+    "@[<v>steps=%d rmr=%d crashes=%d completed=%d cs_max=%d deadlocked=%b timed_out=%b%a@,%a@]"
     res.steps res.total_rmr res.total_crashes (total_completed res) res.cs_max res.deadlocked
     res.timed_out
+    Fmt.(option (fun ppf s -> pf ppf "@,stall %a" pp_stall s))
+    res.stall
     Fmt.(
       list ~sep:cut (fun ppf (l : lock_stats) ->
           pf ppf "lock %-20s max_occupancy=%d unsafe_crashes=%d" l.lock_name l.max_occupancy

@@ -46,6 +46,30 @@ type lock_stats = {
   unsafe_crashes : int;  (** crashes inside this lock's sensitive window *)
 }
 
+(** Watchdog verdict on an abnormal end state. *)
+type stall_kind =
+  | Deadlock  (** every live process parked, no writer left to wake them *)
+  | Livelock
+      (** timed out with processes still taking steps, but nobody satisfied
+          a request within the trailing stall window *)
+  | Starvation
+      (** timed out with some processes progressing while the culprits went
+          a whole stall window without satisfying a request *)
+  | Underbudget
+      (** timed out, yet every live process progressed within the trailing
+          window — the run was healthy and [max_steps] was simply too
+          small; raise the budget rather than suspect the lock *)
+
+type stall = {
+  stall_kind : stall_kind;
+  culprits : (int * string) list;
+      (** the stuck (for [Starvation], the starved; for [Livelock], the
+          fruitlessly spinning; for [Deadlock]/[Underbudget], all live)
+          pids, each with a description of where it stands:
+          ["ncs"], ["entry"], ["cs"], ["holding(<lock>)"], with
+          [" parked@<cell>"] appended when it sits on a spin wait *)
+}
+
 type result = {
   steps : int;
   total_rmr : int;
@@ -59,13 +83,21 @@ type result = {
   cs_max : int;  (** max simultaneous occupancy of the application CS *)
   deadlocked : bool;
   timed_out : bool;
+  stall : stall option;
+      (** diagnosis when the run ended abnormally ([deadlocked] or
+          [timed_out]); [None] on clean termination.  Guarantees that
+          [timed_out] is never an undiagnosed verdict: the watchdog always
+          classifies it and names culprit pids. *)
   events : Event.t list;  (** [[]] unless [record] *)
 }
+
+val pp_stall : stall Fmt.t
 
 val run :
   ?record:bool ->
   ?trace_ops:bool ->
   ?max_steps:int ->
+  ?stall_window:int ->
   ?on_crash:(pid:int -> step:int -> unit) ->
   ?on_op:(Crash.op_info -> unit) ->
   n:int ->
@@ -82,6 +114,10 @@ val run :
     detected (every live process parked), or [max_steps] (default 5e6)
     elapses.  [record] keeps the event history; [trace_ops] additionally
     records every instruction (expensive — tests only).
+
+    [stall_window] is the watchdog's look-back horizon (in global steps)
+    for the timeout diagnosis recorded in [result.stall]; default
+    [max 1_000 (max_steps / 8)].
 
     [on_op] is the site-discovery hook: it observes the {!Crash.op_info} of
     every instruction a process is about to execute — the same view the

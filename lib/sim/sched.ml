@@ -66,6 +66,20 @@ let burst ~seed ~len =
         end);
   }
 
+let recording ~inner ~decisions =
+  {
+    label = Printf.sprintf "recording(%s)" inner.label;
+    pick =
+      (fun ~runnable ~step ->
+        let chosen = inner.pick ~runnable ~step in
+        let sorted = Array.copy runnable in
+        Array.sort compare sorted;
+        let idx = ref 0 in
+        Array.iteri (fun i p -> if p = chosen then idx := i) sorted;
+        Vec.push decisions !idx;
+        chosen);
+  }
+
 exception Unfaithful of { position : int; choice : int; degree : int }
 
 let trace ?mismatch ?(strict = false) ~decisions ~record () =

@@ -26,6 +26,14 @@ val burst : seed:int -> len:int -> t
 (** Runs a randomly chosen process for up to [len] consecutive steps before
     switching — a convoy-forming adversary that stresses hand-off paths. *)
 
+val recording : inner:t -> decisions:int Vec.t -> t
+(** Delegates every pick to [inner] and appends the chosen pid's index into
+    the {e sorted} runnable set to [decisions] — the same encoding {!trace}
+    consumes.  A run scheduled by [recording ~inner] followed by a replay
+    under [trace ~decisions] takes the identical schedule, which is how the
+    chaos campaign turns a random adversarial discovery into a
+    deterministic, shrinkable witness. *)
+
 exception Unfaithful of { position : int; choice : int; degree : int }
 (** Raised by a [strict] trace scheduler when [decisions.(position)] is not a
     valid index into a runnable set of size [degree]. *)

@@ -85,8 +85,9 @@ let test_fas_faa_semantics () =
 (* Crash plans                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let info ?(pid = 0) ?(step = 0) ?(op_index = 0) ?(kind = Api.Read) ?cell ?note () =
-  { Crash.pid; step; op_index; kind; cell; note }
+let info ?(pid = 0) ?(step = 0) ?(op_index = 0) ?(kind = Api.Read) ?cell ?note
+    ?(unsafe_wrt = []) () =
+  { Crash.pid; step; op_index; kind; cell; note; unsafe_wrt }
 
 let test_crash_none () =
   check cb "no crash" true (Crash.on_op Crash.none (info ()) = Crash.No_crash)
