@@ -624,7 +624,9 @@ let explore_bench () =
   Fmt.pr "@.=== Explorer throughput: sequential DFS vs domain-sharded pool ===@.@.";
   (* Three processes, one WR-Lock request each: a schedule tree far larger
      than the budget, so every configuration executes exactly [max_runs]
-     runs and the wall-clock ratio is the engine-throughput ratio. *)
+     runs and the wall-clock ratio is the engine-throughput ratio.  POR is
+     off here on purpose — this section isolates raw engine throughput,
+     keeping the runs/s trajectory comparable across revisions. *)
   let check res =
     if res.Engine.cs_max > 1 then Some "ME violation"
     else if res.Engine.deadlocked then Some "deadlock"
@@ -634,10 +636,10 @@ let explore_bench () =
   let crash () = Crash.none in
   let run_case ~max_runs = function
     | None ->
-        Rme_check.Explore.explore ~max_runs ~max_steps:4_000 ~shrink_violations:false ~n:3
-          ~model:Memory.CC ~crash ~setup:Wr_lock.make ~body ~check ()
+        Rme_check.Explore.explore ~por:false ~max_runs ~max_steps:4_000 ~shrink_violations:false
+          ~n:3 ~model:Memory.CC ~crash ~setup:Wr_lock.make ~body ~check ()
     | Some domains ->
-        Rme_check.Explore.explore_parallel ~domains ~max_runs ~max_steps:4_000
+        Rme_check.Explore.explore_parallel ~por:false ~domains ~max_runs ~max_steps:4_000
           ~shrink_violations:false ~n:3 ~model:Memory.CC ~crash ~setup:Wr_lock.make ~body ~check
           ()
   in
@@ -649,22 +651,28 @@ let explore_bench () =
   (* Warm up allocators/code paths so the first row is not penalised. *)
   let (_ : Rme_check.Explore.outcome) = run_case ~max_runs:200 (Some 2) in
   let seq_rate = ref 0.0 in
-  let rows =
+  let throughput =
     List.map
       (fun (label, domains) ->
         let o, dt = time (fun () -> run_case ~max_runs:2_000 domains) in
         let rate = float_of_int o.Rme_check.Explore.runs /. dt in
         if domains = None then seq_rate := rate;
-        [
-          label;
-          string_of_int o.Rme_check.Explore.runs;
-          Printf.sprintf "%.3f s" dt;
-          Printf.sprintf "%.0f" rate;
-          (if !seq_rate > 0.0 then Printf.sprintf "%.2fx" (rate /. !seq_rate) else "-");
-        ])
+        (label, o.Rme_check.Explore.runs, dt, rate, rate /. !seq_rate))
       [ ("sequential", None); ("domains=2", Some 2); ("domains=4", Some 4) ]
   in
-  table ~header:[ "explorer"; "runs"; "wall clock"; "runs/s"; "speedup" ] ~rows;
+  table
+    ~header:[ "explorer"; "runs"; "wall clock"; "runs/s"; "speedup" ]
+    ~rows:
+      (List.map
+         (fun (label, runs, dt, rate, speedup) ->
+           [
+             label;
+             string_of_int runs;
+             Printf.sprintf "%.3f s" dt;
+             Printf.sprintf "%.0f" rate;
+             Printf.sprintf "%.2fx" speedup;
+           ])
+         throughput);
   Fmt.pr "@.(same schedule tree, same budget; the pool shards disjoint decision-vector@.\
           prefixes across domains — Pool.map cancels nothing here, so runs match)@.";
   let cores = Domain.recommended_domain_count () in
@@ -672,7 +680,168 @@ let explore_bench () =
   if cores < 2 then
     Fmt.pr "NOTE: single-core host — OCaml domains time-share one CPU and every@.\
             minor GC is a stop-the-world barrier across them, so the ratio above@.\
-            measures pure sharding overhead; speedup > 1 needs >= 2 cores.@."
+            measures pure sharding overhead; speedup > 1 needs >= 2 cores.@.";
+  (* --- sleep-set partial-order reduction ---------------------------- *)
+  Fmt.pr "@.=== Sleep-set POR: plain vs reduced search ===@.@.";
+  (* Two kinds of evidence.  Where the unpruned search can finish (the
+     splitter tree) or stops at a violation (the FAS-gap subjects), both
+     searches run to completion and the outcomes must match exactly.  On
+     the real lock trees the unpruned search cannot finish at all — POR
+     exhausts them, so the plain search instead gets a budget of several
+     times the POR count; failing to exhaust it proves the reduction
+     factor as a lower bound.  Divergence is only declared where the
+     comparison is conclusive: differing violations, or a violation /
+     non-exhaustion that the other side's completed search rules out. *)
+  let divergence = ref false in
+  let reduction_case (name, run_one, por_cap) =
+    let por, por_dt = time (fun () -> run_one ~por:true ~max_runs:por_cap) in
+    let plain_cap =
+      if por.Rme_check.Explore.exhausted then max (4 * por.Rme_check.Explore.runs) 10_000
+      else por_cap
+    in
+    let plain, plain_dt = time (fun () -> run_one ~por:false ~max_runs:plain_cap) in
+    let pe = plain.Rme_check.Explore.exhausted and qe = por.Rme_check.Explore.exhausted in
+    let pv = plain.Rme_check.Explore.violation and qv = por.Rme_check.Explore.violation in
+    let conclusive, identical =
+      match (pv, qv) with
+      | Some _, Some _ -> (true, pv = qv)
+      | None, Some _ -> (pe, not pe) (* plain finished clean, por violated: divergence *)
+      | Some _, None -> (qe, not qe) (* por proved the tree clean, plain violated *)
+      | None, None ->
+          if pe && qe then (true, true)
+          else if qe then (true, true) (* por exhausted; truncated plain agrees so far *)
+          else (pe, not pe) (* plain exhausted but por did not: subset property broken *)
+    in
+    if conclusive && not identical then begin
+      divergence := true;
+      Fmt.pr "DIVERGENCE on %s:@.  plain: %a@.  por:   %a@." name Rme_check.Explore.pp_outcome
+        plain Rme_check.Explore.pp_outcome por
+    end;
+    if not conclusive then
+      Fmt.pr "WARNING: %s is inconclusive — neither search finished within its budget.@." name;
+    let lower_bound = (not pe) && qe in
+    ( name,
+      plain.Rme_check.Explore.runs,
+      por.Rme_check.Explore.runs,
+      plain_dt,
+      por_dt,
+      float_of_int plain.Rme_check.Explore.runs /. float_of_int (max 1 por.Rme_check.Explore.runs),
+      lower_bound,
+      conclusive && identical )
+  in
+  (* Splitter one-shot: the only real-lock tree small enough for the plain
+     search to enumerate completely — the exact-factor, both-exhausted
+     case. *)
+  let splitter_body sp ~pid =
+    Api.note (Rme_sim.Event.Seg Rme_sim.Event.Req_begin);
+    (if Rme_locks.Splitter.try_fast sp ~pid then begin
+       Api.note (Rme_sim.Event.Seg Rme_sim.Event.Cs_begin);
+       Api.yield ();
+       Api.note (Rme_sim.Event.Seg Rme_sim.Event.Cs_end);
+       Rme_locks.Splitter.release sp ~pid
+     end);
+    Api.note (Rme_sim.Event.Seg Rme_sim.Event.Req_done)
+  in
+  let splitter ~por ~max_runs =
+    Rme_check.Explore.explore ~por ~max_runs ~max_steps:4_000 ~n:2 ~model:Memory.CC ~crash
+      ~setup:Rme_locks.Splitter.create ~body:splitter_body ~check ()
+  in
+  (* WR-Lock ME at n=2 / SA stack (sa-jjj) ME at n=2: POR exhausts trees the
+     plain search provably cannot cover in 4x the runs. *)
+  let wr_n2 ~por ~max_runs =
+    Rme_check.Explore.explore ~por ~max_runs ~max_steps:4_000 ~shrink_violations:false ~n:2
+      ~model:Memory.CC ~crash ~setup:Wr_lock.make ~body ~check ()
+  in
+  let sa_n2 ~por ~max_runs =
+    let make = (Rme.Spec.find_exn "sa-jjj").Rme.Spec.make in
+    Rme_check.Explore.explore ~por ~max_runs ~max_steps:20_000 ~shrink_violations:false ~n:2
+      ~model:Memory.CC ~crash ~setup:make ~body ~check ()
+  in
+  (* WR-Lock ME at n=3 around the unsafe FAS gap (the Figure 1 scenario,
+     staged as in the explorer tests): both searches stop at the identical
+     first violation in DFS preorder with the identical shrunk witness. *)
+  let wr_gap_setup ctx =
+    let gate = Memory.alloc (Engine.Ctx.memory ctx) ~name:"gate" 0 in
+    (Wr_lock.make ctx, gate)
+  in
+  let wr_gap_body (lock, gate) ~pid =
+    if pid = 0 then begin
+      for _ = 1 to 3 do
+        Api.yield ()
+      done;
+      Api.write gate 1
+    end
+    else begin
+      let cs ~pid = if pid = 1 then Api.spin_until gate (Api.Eq 1) in
+      Rme_sim.Harness.standard_body ~cs ~lock ~requests:1 pid
+    end
+  in
+  let wr_gap ~por ~max_runs =
+    Rme_check.Explore.explore ~por ~max_runs ~max_steps:4_000 ~n:3 ~model:Memory.CC
+      ~crash:(fun () -> Crash.on_kind ~pid:2 ~kind:Api.Fas ~occurrence:0 Crash.After)
+      ~setup:wr_gap_setup ~body:wr_gap_body
+      ~check:(fun res -> if res.Engine.cs_max > 1 then Some "ME violation" else None)
+      ()
+  in
+  let reductions =
+    List.map reduction_case
+      [
+        ("splitter-me-n2", splitter, 200_000);
+        ("wr-me-n2", wr_n2, 200_000);
+        ("wr-gap-me-n3", wr_gap, 200_000);
+        ("sa-me-n2", sa_n2, 200_000);
+      ]
+  in
+  table
+    ~header:[ "subject"; "plain runs"; "por runs"; "reduction"; "plain"; "por"; "identical" ]
+    ~rows:
+      (List.map
+         (fun (name, plain_runs, por_runs, plain_dt, por_dt, factor, lower_bound, identical) ->
+           [
+             name;
+             string_of_int plain_runs;
+             string_of_int por_runs;
+             Printf.sprintf "%s%.2fx" (if lower_bound then ">= " else "") factor;
+             Printf.sprintf "%.3f s" plain_dt;
+             Printf.sprintf "%.3f s" por_dt;
+             string_of_bool identical;
+           ])
+         reductions);
+  Fmt.pr "@.(identical = conclusively same outcome: same first violation and shrunk@.\
+          witness, or same clean exhaustion; '>=' marks subjects whose unpruned tree@.\
+          exceeded 4x the POR run count without exhausting, so the true factor is@.\
+          larger — the sleep-set oracle only prunes runs that provably reorder@.\
+          commuting steps of an explored run)@.";
+  (* Machine-readable trajectory point, same shape as the sweep/chaos
+     experiments: throughput cases plus the POR reduction factors. *)
+  let path = "BENCH_explore.json" in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"explore\",\n  \"throughput\": [\n";
+  List.iteri
+    (fun i (label, runs, dt, rate, speedup) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"explorer\": %S, \"runs\": %d, \"seconds\": %.4f, \"runs_per_sec\": %.2f, \
+            \"speedup\": %.3f}%s\n"
+           label runs dt rate speedup
+           (if i = List.length throughput - 1 then "" else ",")))
+    throughput;
+  Buffer.add_string buf "  ],\n  \"reduction\": [\n";
+  List.iteri
+    (fun i (name, plain_runs, por_runs, plain_dt, por_dt, factor, lower_bound, identical) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"subject\": %S, \"plain_runs\": %d, \"por_runs\": %d, \
+            \"reduction_factor\": %.3f, \"factor_is_lower_bound\": %b, \
+            \"plain_seconds\": %.4f, \"por_seconds\": %.4f, \"identical_outcome\": %b}%s\n"
+           name plain_runs por_runs factor lower_bound plain_dt por_dt identical
+           (if i = List.length reductions - 1 then "" else ",")))
+    reductions;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (Buffer.contents buf));
+  Fmt.pr "@.(json: %s)@." path;
+  if !divergence then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Sweep throughput: crash-site campaign cost per lock                  *)

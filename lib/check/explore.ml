@@ -38,7 +38,9 @@ let shrink ~reproduces trace =
 
 (* Everything one run needs, bundled so the sequential explorer, the
    shrinker and the per-domain workers of the parallel explorer replay
-   schedules identically. *)
+   schedules identically.  [por] enables footprint collection for the
+   sleep-set reduction; [crashy] marks the crash plan's possible victims
+   (see Crash.por_class). *)
 type 'a driver = {
   max_steps : int;
   record : bool;
@@ -48,28 +50,48 @@ type 'a driver = {
   setup : Engine.Ctx.t -> 'a;
   body : 'a -> pid:int -> unit;
   check : Engine.result -> string option;
+  por : bool;
+  crashy : int -> bool;
 }
 
+(* Decide whether the sleep-set reduction can run.  It needs (a) a
+   schedule-robust crash plan — otherwise commuting two independent steps
+   can move where a crash fires — and (b) no event recording: [check]s that
+   read [result.events] can observe the order of independent steps, which
+   the reduction deliberately does not preserve.  Aggregate statistics
+   (counts, maxima, per-passage RMRs) are permutation-stable by the
+   footprint oracle's construction. *)
+let por_setup ~por ~record ~crash =
+  if not por then (false, fun _ -> false)
+  else
+    match Crash.por_class (crash ()) with
+    | Crash.Robust victims when not record -> (true, fun pid -> List.mem pid victims)
+    | Crash.Robust _ | Crash.Sensitive -> (false, fun _ -> false)
+
 (* Run one schedule.  Returns the engine result, the branching degree
-   observed at every decision point, and whether any decision fell outside
-   its degree (an unfaithful replay — see Sched.trace). *)
+   observed at every decision point, the per-choice footprints (flat, in
+   decision order — [None] unless the driver runs with POR), and whether
+   any decision fell outside its degree (an unfaithful replay — see
+   Sched.trace). *)
 let run_trace d trace =
   let decisions = Vec.of_list trace in
   let record = Vec.create () in
   let mismatch = ref false in
   let sched = Sched.trace ~mismatch ~decisions ~record () in
+  let footprints = if d.por then Some (Vec.create ()) else None in
   let res =
-    Engine.run ~record:d.record ~max_steps:d.max_steps ~n:d.n ~model:d.model ~sched
-      ~crash:(d.crash ()) ~setup:d.setup ~body:d.body ()
+    Engine.run ?footprints ~footprint_crashy:d.crashy ~record:d.record ~max_steps:d.max_steps
+      ~n:d.n ~model:d.model ~sched ~crash:(d.crash ()) ~setup:d.setup ~body:d.body ()
   in
-  (res, Vec.to_array record, !mismatch)
+  (res, Vec.to_array record, footprints, !mismatch)
 
 (* A shrink candidate counts only if it reproduces the violation *and* its
    decisions all index real branches: a candidate whose degrees shifted
    takes different branches than the trace it would be reported as, so a
-   "minimised" witness built from it would be unfaithful. *)
+   "minimised" witness built from it would be unfaithful.  Shrinking only
+   replays single vectors, so footprint collection is switched off. *)
 let faithful_reproduces d t =
-  let res, _, mismatch = run_trace d t in
+  let res, _, _, mismatch = run_trace { d with por = false } t in
   (not mismatch) && d.check res <> None
 
 (* Depth-first exploration of the subtree of decision vectors rooted at
@@ -78,40 +100,91 @@ let faithful_reproduces d t =
    set to 1 .. degree-1 (0 is the default path, covered by [p] itself).
    Returns the first violation in DFS preorder, or [None].
 
+   Sleep-set reduction: the search walks the run's decision points as a
+   chain of nodes along the choice-0 spine.  [sleep0] holds the footprints
+   of processes put to sleep by the ancestors; a sibling whose pid is
+   asleep is skipped wholesale, because every run below it only reorders
+   commuting steps of a run explored since the pid went to sleep.  In this
+   explorer's DFS order siblings at a position are fully explored *before*
+   the spine continues, so each explored sibling joins the sleep set of the
+   later siblings and of the spine continuation — filtered at every hand-
+   off by independence with the step actually taken (a dependent step
+   invalidates the coverage argument and wakes the sleeper).  A sleeping
+   pid's pending step cannot change while it sleeps (only its own step
+   could change it), so the stored footprint stays accurate.
+
    [take_run] reserves budget for one run and returns [false] once the
    budget is gone; [stop] is an external cancellation signal (the parallel
    explorer's "an earlier subtree already has the answer").  Both unwind
    the whole subtree immediately — no sibling is visited once the search
    cannot contribute to the result. *)
-let subtree d ~take_run ~stop prefix0 =
+let subtree d ~take_run ~stop (prefix0, sleep0) =
   let exception Halt in
   let exception Found of string * int list in
-  let rec go prefix =
+  let rec go prefix sleep0 =
     if stop () then raise Halt;
     if not (take_run ()) then raise Halt;
-    let res, branches, _ = run_trace d prefix in
+    let res, branches, fps, _ = run_trace d prefix in
     (match d.check res with Some msg -> raise (Found (msg, prefix)) | None -> ());
-    (* Explore siblings at every decision point beyond the prefix. *)
+    (* The coverage argument permutes complete runs; a timed-out run was
+       cut mid-schedule, so for this node fall back to the unpruned
+       expansion (children restart with empty sleep sets and judge their
+       own runs). *)
+    let fps = if res.Engine.timed_out then None else fps in
     let depth = List.length prefix in
+    (* Offset of position [depth]'s choices in the flat footprint buffer. *)
+    let off = ref 0 in
+    (match fps with
+    | None -> ()
+    | Some _ ->
+        for i = 0 to depth - 1 do
+          off := !off + branches.(i)
+        done);
+    (* Sibling prefixes at position [i] share the padded spine
+       [prefix @ 0^(i-depth)], kept reversed and extended in place instead
+       of being rebuilt per child ([prefix @ pad @ [c]] was quadratic in
+       depth). *)
+    let rev_spine = ref (List.rev prefix) in
+    let sleep = ref (match fps with None -> [] | Some _ -> sleep0) in
     for i = depth to Array.length branches - 1 do
       let degree = branches.(i) in
-      if degree > 1 then begin
-        (* The prefix for position [i] follows the default (0) path up to
-           it; positions depth..i-1 chose 0. *)
-        let pad = List.init (i - depth) (fun _ -> 0) in
-        for c = 1 to degree - 1 do
-          go (prefix @ pad @ [ c ])
-        done
-      end
+      (match fps with
+      | None ->
+          for c = 1 to degree - 1 do
+            go (List.rev_append !rev_spine [ c ]) []
+          done
+      | Some fv ->
+          let fp_at c = Vec.get fv (!off + c) in
+          if degree > 1 then begin
+            (* Sleep candidates for each next sibling and for the spine:
+               inherited sleepers plus the siblings explored before it. *)
+            let explored = ref !sleep in
+            for c = 1 to degree - 1 do
+              let fpc = fp_at c in
+              let pidc = Footprint.pid fpc in
+              if List.exists (fun s -> Footprint.pid s = pidc) !sleep then ()
+              else begin
+                go
+                  (List.rev_append !rev_spine [ c ])
+                  (List.filter (fun s -> Footprint.independent s fpc) !explored);
+                explored := fpc :: !explored
+              end
+            done;
+            sleep := List.filter (fun s -> Footprint.independent s (fp_at 0)) !explored
+          end
+          else sleep := List.filter (fun s -> Footprint.independent s (fp_at 0)) !sleep;
+          off := !off + degree);
+      rev_spine := 0 :: !rev_spine
     done
   in
-  match go prefix0 with
+  match go prefix0 sleep0 with
   | () -> None
   | exception Halt -> None
   | exception Found (msg, tr) -> Some (msg, tr)
 
-(* [exhausted] means the search covered the whole tree: no truncation and
-   no violation (a violation stops the search early by design). *)
+(* [exhausted] means the search covered the whole tree (up to runs the
+   sleep-set reduction proved equivalent to explored ones): no truncation
+   and no violation (a violation stops the search early by design). *)
 let finish d ~shrink_violations ~runs ~truncated violation =
   let violation =
     match violation with
@@ -122,8 +195,9 @@ let finish d ~shrink_violations ~runs ~truncated violation =
   { runs; exhausted = (violation = None) && not truncated; violation }
 
 let explore ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = true)
-    ?(record = false) ~n ~model ~crash ~setup ~body ~check () =
-  let d = { max_steps; record; n; model; crash; setup; body; check } in
+    ?(record = false) ?(por = true) ~n ~model ~crash ~setup ~body ~check () =
+  let por, crashy = por_setup ~por ~record ~crash in
+  let d = { max_steps; record; n; model; crash; setup; body; check; por; crashy } in
   let runs = ref 0 in
   let truncated = ref false in
   let take_run () =
@@ -136,7 +210,7 @@ let explore ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = tr
       true
     end
   in
-  let violation = subtree d ~take_run ~stop:(fun () -> false) [] in
+  let violation = subtree d ~take_run ~stop:(fun () -> false) ([], []) in
   finish d ~shrink_violations ~runs:!runs ~truncated:!truncated violation
 
 (* ------------------------------------------------------------------ *)
@@ -144,14 +218,17 @@ let explore ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = tr
 (* ------------------------------------------------------------------ *)
 
 (* The frontier is an ordered list of schedule-tree positions: a [Todo]
-   subtree still to be explored, or the [Violation] of an already-executed
-   frontier run.  The order is DFS preorder of the sequential explorer, so
-   "first element with a violation" means the same thing it does there. *)
-type item = Todo of int list | Violation of string * int list
+   subtree still to be explored (with the sleep set it inherits), or the
+   [Violation] of an already-executed frontier run.  The order is DFS
+   preorder of the sequential explorer, so "first element with a violation"
+   means the same thing it does there. *)
+type item = Todo of int list * Footprint.t list | Violation of string * int list
 
 let explore_parallel ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = true)
-    ?(record = false) ?domains ?(split_depth = 1) ~n ~model ~crash ~setup ~body ~check () =
-  let d = { max_steps; record; n; model; crash; setup; body; check } in
+    ?(record = false) ?(por = true) ?domains ?(split_depth = 1) ~n ~model ~crash ~setup ~body
+    ~check () =
+  let por, crashy = por_setup ~por ~record ~crash in
+  let d = { max_steps; record; n; model; crash; setup; body; check; por; crashy } in
   let runs = Atomic.make 0 in
   let truncated = Atomic.make false in
   let take_run () =
@@ -167,26 +244,59 @@ let explore_parallel ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violat
     loop ()
   in
   (* Execute one frontier prefix and turn it into its children, in the
-     order the sequential DFS would visit them. *)
-  let expand prefix =
+     order the sequential DFS would visit them, replicating [subtree]'s
+     sleep-set evolution so the pruned run set — and therefore the outcome
+     — is identical whatever the domain count. *)
+  let expand (prefix, sleep0) =
     if not (take_run ()) then `Truncated
     else begin
-      let res, branches, _ = run_trace d prefix in
+      let res, branches, fps, _ = run_trace d prefix in
       match d.check res with
       | Some msg -> `Violation (msg, prefix)
       | None ->
+          let fps = if res.Engine.timed_out then None else fps in
           let depth = List.length prefix in
+          let off = ref 0 in
+          (match fps with
+          | None -> ()
+          | Some _ ->
+              for i = 0 to depth - 1 do
+                off := !off + branches.(i)
+              done);
+          let rev_spine = ref (List.rev prefix) in
+          let sleep = ref (match fps with None -> [] | Some _ -> sleep0) in
           let children = ref [] in
-          for i = Array.length branches - 1 downto depth do
+          for i = depth to Array.length branches - 1 do
             let degree = branches.(i) in
-            if degree > 1 then begin
-              let pad = List.init (i - depth) (fun _ -> 0) in
-              for c = degree - 1 downto 1 do
-                children := (prefix @ pad @ [ c ]) :: !children
-              done
-            end
+            (match fps with
+            | None ->
+                for c = 1 to degree - 1 do
+                  children := Todo (List.rev_append !rev_spine [ c ], []) :: !children
+                done
+            | Some fv ->
+                let fp_at c = Vec.get fv (!off + c) in
+                if degree > 1 then begin
+                  let explored = ref !sleep in
+                  for c = 1 to degree - 1 do
+                    let fpc = fp_at c in
+                    let pidc = Footprint.pid fpc in
+                    if List.exists (fun s -> Footprint.pid s = pidc) !sleep then ()
+                    else begin
+                      children :=
+                        Todo
+                          ( List.rev_append !rev_spine [ c ],
+                            List.filter (fun s -> Footprint.independent s fpc) !explored )
+                        :: !children;
+                      explored := fpc :: !explored
+                    end
+                  done;
+                  sleep := List.filter (fun s -> Footprint.independent s (fp_at 0)) !explored
+                end
+                else sleep := List.filter (fun s -> Footprint.independent s (fp_at 0)) !sleep;
+                off := !off + degree);
+            rev_spine := 0 :: !rev_spine
           done;
-          `Children !children
+          `Children (List.rev !children)
     end
   in
   (* Split the tree at [split_depth] frontier levels.  A violation found
@@ -199,29 +309,28 @@ let explore_parallel ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violat
       let rec walk acc = function
         | [] -> (List.rev acc, false)
         | (Violation _ as it) :: _ -> (List.rev (it :: acc), true)
-        | Todo p :: rest -> (
-            match expand p with
+        | Todo (p, s) :: rest -> (
+            match expand (p, s) with
             | `Truncated -> (List.rev acc, true)
             | `Violation (msg, tr) -> (List.rev (Violation (msg, tr) :: acc), true)
-            | `Children cs ->
-                walk (List.rev_append (List.map (fun c -> Todo c) cs) acc) rest)
+            | `Children cs -> walk (List.rev_append cs acc) rest)
       in
       let items', stop_expanding = walk [] items in
       if stop_expanding then items' else expand_levels (level + 1) items'
     end
   in
-  let items = expand_levels 0 [ Todo [] ] in
+  let items = expand_levels 0 [ Todo ([], []) ] in
   let rec split acc = function
     | [] -> (List.rev acc, None)
     | Violation (msg, tr) :: _ -> (List.rev acc, Some (msg, tr))
-    | Todo p :: rest -> split (p :: acc) rest
+    | Todo (p, s) :: rest -> split ((p, s) :: acc) rest
   in
   let todos, frontier_violation = split [] items in
   let results =
     Pool.map ?domains
       ~hit:(fun v -> v <> None)
       ~tasks:(Array.of_list todos)
-      (fun ~index:_ ~stop prefix -> subtree d ~take_run ~stop prefix)
+      (fun ~index:_ ~stop task -> subtree d ~take_run ~stop task)
   in
   (* Deterministic merge: the lowest-indexed subtree violation — the pool
      guarantees every earlier subtree ran to completion — and only then

@@ -35,6 +35,7 @@ val explore :
   ?max_steps:int ->
   ?shrink_violations:bool ->
   ?record:bool ->
+  ?por:bool ->
   n:int ->
   model:Memory.model ->
   crash:(unit -> Crash.t) ->
@@ -52,13 +53,28 @@ val explore :
     with [shrink_violations] (default true), minimises its decision vector
     before reporting.  Shrink candidates are replayed with degree-mismatch
     detection ({!Sched.trace}) and rejected when unfaithful, so the
-    reported vector always witnesses the violation it claims. *)
+    reported vector always witnesses the violation it claims.
+
+    [por] (default true) enables sleep-set partial-order reduction: a
+    sibling schedule is skipped when the step it deviates with is
+    independent — by the {!Footprint} oracle — of every step explored
+    since the deviating process was put to sleep, so only one
+    representative per Mazurkiewicz trace class is executed.  The oracle
+    is conservative, and the pruned search reports the {e identical}
+    [exhausted] verdict, first violation in DFS preorder, and shrunk
+    witness as the unpruned search, provided [check] is schedule-robust
+    (reads aggregate statistics, not step counts or latencies) and runs
+    terminate within [max_steps].  The reduction automatically disables
+    itself when it cannot be sound: under [record] (event order between
+    independent steps is not preserved) and for schedule-sensitive crash
+    plans ({!Crash.por_class} = [Sensitive]). *)
 
 val explore_parallel :
   ?max_runs:int ->
   ?max_steps:int ->
   ?shrink_violations:bool ->
   ?record:bool ->
+  ?por:bool ->
   ?domains:int ->
   ?split_depth:int ->
   n:int ->
@@ -79,7 +95,11 @@ val explore_parallel :
     Determinism: when no truncation occurs, the reported [violation] (and
     its shrunk vector) and the [exhausted] flag are identical to the
     sequential {!explore}'s, independent of domain scheduling; on a clean
-    exhaustive search [runs] is identical too.  When a violation is found,
+    exhaustive search [runs] is identical too.  This holds with [por] as
+    well: sleep sets are threaded through the frontier split, the frontier
+    expansion replicates the sequential sleep evolution exactly, and
+    pruning decisions depend only on the (deterministic) footprints of
+    each run — so the pruned run set is the same for every domain count.  When a violation is found,
     [runs] may exceed the sequential count (other domains keep finishing
     their current work — "runs modulo scheduling").  Under [max_runs]
     truncation, which schedules fit the budget is scheduling-dependent.

@@ -12,10 +12,21 @@ type op_info = {
   unsafe_wrt : int list;
 }
 
+(* How a plan's firing decisions relate to the schedule, for the explorer's
+   partial-order reduction.  [Robust victims]: every decision is a function
+   of the observed process's own instruction history alone, so swapping
+   independent steps of other processes cannot move a crash; only the listed
+   pids can ever be struck.  [Sensitive]: decisions read the global step
+   counter, a shared RNG consumed in cross-process op order, or shared span
+   state — reordering can change where the plan fires, so POR must stay
+   off. *)
+type por_class = Robust of int list | Sensitive
+
 type t = {
   label : string;
   on_op : op_info -> decision;
   async : step:int -> int list;
+  por : por_class;
 }
 
 let label t = t.label
@@ -24,9 +35,11 @@ let on_op t info = t.on_op info
 
 let async t ~step = t.async ~step
 
+let por_class t = t.por
+
 let no_async ~step:_ = []
 
-let none = { label = "none"; on_op = (fun _ -> No_crash); async = no_async }
+let none = { label = "none"; on_op = (fun _ -> No_crash); async = no_async; por = Robust [] }
 
 let at_op ~pid ~nth point =
   let fired = ref false in
@@ -40,6 +53,7 @@ let at_op ~pid ~nth point =
         end
         else No_crash);
     async = no_async;
+    por = Robust [ pid ];
   }
 
 (* Crash [pid] at the [occurrence]-th instruction satisfying [match_]. *)
@@ -61,6 +75,7 @@ let on_match ~label ~pid ~occurrence ~point match_ =
         end
         else No_crash);
     async = no_async;
+    por = Robust [ pid ];
   }
 
 let on_kind ~pid ~kind ~occurrence point =
@@ -98,6 +113,10 @@ let random ~seed ~rate ~max_crashes ?pids () =
         end
         else No_crash);
     async = no_async;
+    (* With a single eligible pid the RNG is consumed only on that pid's
+       ops, in its own program order — schedule-robust.  With several, the
+       draw order depends on the interleaving. *)
+    por = (match pids with Some [ p ] -> Robust [ p ] | _ -> Sensitive);
   }
 
 let fas_gap ~seed ~rate ~max_crashes ?(cell_suffix = "filter.tail") () =
@@ -119,6 +138,7 @@ let fas_gap ~seed ~rate ~max_crashes ?(cell_suffix = "filter.tail") () =
             Crash After
         | _ -> No_crash);
     async = no_async;
+    por = Sensitive;
   }
 
 let async_at specs =
@@ -131,6 +151,7 @@ let async_at specs =
         let due, rest = List.partition (fun (s, _) -> step >= s) !pending in
         pending := rest;
         List.map snd due);
+    por = Sensitive;
   }
 
 let batch ~step ~pids = { (async_at (List.map (fun p -> (step, p)) pids)) with label = "batch" }
@@ -154,6 +175,7 @@ let every_nth_passage ~pid ~period ~max_crashes =
             else No_crash
         | _ -> No_crash);
     async = no_async;
+    por = Robust [ pid ];
   }
 
 let target_holder ?lock ~seed ~rate ~max_crashes () =
@@ -182,6 +204,7 @@ let target_holder ?lock ~seed ~rate ~max_crashes () =
         end
         else No_crash);
     async = no_async;
+    por = Sensitive;
   }
 
 let target_window ~seed ~rate ~max_crashes () =
@@ -200,6 +223,7 @@ let target_window ~seed ~rate ~max_crashes () =
         end
         else No_crash);
     async = no_async;
+    por = Sensitive;
   }
 
 let repeat_offender ~victim ~gap ~times =
@@ -228,6 +252,7 @@ let repeat_offender ~victim ~gap ~times =
           end
         end);
     async = no_async;
+    por = Robust [ victim ];
   }
 
 let storm ~seed ~rate ~max_crashes ~gap ?(backoff = 1.0) ?pids () =
@@ -256,6 +281,7 @@ let storm ~seed ~rate ~max_crashes ~gap ?(backoff = 1.0) ?pids () =
         end
         else No_crash);
     async = no_async;
+    por = Sensitive;
   }
 
 type fired = { f_pid : int; f_op_index : int; f_step : int; f_point : point }
@@ -289,6 +315,18 @@ let all plans =
         in
         loop plans);
     async = (fun ~step -> List.concat_map (fun p -> p.async ~step) plans);
+    (* Each robust member decides from its victim's own history, and the
+       first-decision-wins short circuit only ever masks consults on ops
+       that another member deterministically (per-pid) crashed — so the
+       union of robust plans is robust, over the union of victims. *)
+    por =
+      List.fold_left
+        (fun acc p ->
+          match (acc, p.por) with
+          | Sensitive, _ | _, Sensitive -> Sensitive
+          | Robust a, Robust b ->
+              Robust (List.sort_uniq Int.compare (List.rev_append b a)))
+        (Robust []) plans;
   }
 
 let replay_fired fired =

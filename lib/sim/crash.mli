@@ -40,12 +40,30 @@ type op_info = {
 
 type t
 
+(** How a plan's firing decisions relate to the schedule, consulted by the
+    explorer's partial-order reduction ({!Rme_check.Explore}).
+
+    [Robust victims]: every decision is a pure function of the observed
+    process's own instruction history (its op indices, kinds, cells, notes),
+    so commuting independent steps of {e other} processes cannot move a
+    crash, and only the pids in [victims] can ever be struck.
+
+    [Sensitive]: decisions read schedule-dependent state — the global step
+    counter ({!async_at}, {!batch}, {!storm}), a shared RNG consumed in
+    cross-process op order ({!random} over several pids, {!fas_gap},
+    {!target_holder}, {!target_window}), or similar.  Reordering even
+    commuting steps can change where such a plan fires, so the reduction
+    disables itself. *)
+type por_class = Robust of int list | Sensitive
+
 val label : t -> string
 
 val on_op : t -> op_info -> decision
 
 val async : t -> step:int -> int list
 (** Pids to crash right now, whatever they are doing (even parked). *)
+
+val por_class : t -> por_class
 
 (** {1 Constructors} *)
 

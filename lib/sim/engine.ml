@@ -65,6 +65,8 @@ type t = {
   stall_window : int;
   on_crash : pid:int -> step:int -> unit;
   on_op : Crash.op_info -> unit;
+  footprints : Footprint.t Vec.t option;
+  footprint_crashy : int -> bool;
   body : pid:int -> unit;
   states : pstate array;
   mutable step : int;
@@ -371,6 +373,19 @@ let step_process eng pid =
       else park eng pid p
   | Parked _ | Halted -> assert false
 
+(* The access footprint of the step [pid] would take if scheduled now, for
+   the explorer's partial-order reduction.  A [Start] dispatch only runs the
+   body to its first suspension (pure local computation) and a [Woken]
+   dispatch only re-reads the spin cell; neither consults the crash plan
+   (no [op_info]), so neither is crashy whatever the plan. *)
+let pending_footprint eng pid =
+  match eng.states.(pid) with
+  | Start -> Footprint.local ~pid
+  | Ready (Suspended (view, _)) ->
+      Footprint.of_view ~pid ~crashy:(eng.footprint_crashy pid) view
+  | Woken p -> Footprint.waiting ~pid p.pcell
+  | Ready Stopped | Parked _ | Halted -> assert false
+
 let runnable eng =
   let out = ref [] in
   for pid = eng.n - 1 downto 0 do
@@ -471,11 +486,13 @@ let finish eng =
    domain-safe: a stateful scheduler or crash plan must be built fresh per
    run, and the closures must not capture shared mutable state. *)
 let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_window
-    ?(on_crash = fun ~pid:_ ~step:_ -> ()) ?(on_op = fun _ -> ()) ~n ~model ~sched ~crash ~setup
-    ~body () =
+    ?(on_crash = fun ~pid:_ ~step:_ -> ()) ?(on_op = fun _ -> ()) ?footprints
+    ?(footprint_crashy = fun _ -> false) ~n ~model ~sched ~crash ~setup ~body () =
   let stall_window =
     match stall_window with Some w -> w | None -> max 1_000 (max_steps / 8)
   in
+  if footprints <> None && n > 0xffff then
+    invalid_arg "Engine.run: footprint recording supports at most 65536 processes";
   let mem = Memory.create model ~n in
   let ctx = { Ctx.mem; lock_names = Vec.create () } in
   let shared = setup ctx in
@@ -492,6 +509,8 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_w
       stall_window;
       on_crash;
       on_op;
+      footprints;
+      footprint_crashy;
       body = (fun ~pid -> body shared ~pid);
       states = Array.make n Start;
       step = 0;
@@ -535,6 +554,12 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_w
     end
     else if eng.step >= eng.max_steps then eng.timed_out <- true
     else begin
+      (* One footprint per runnable pid, in the (ascending) order of [ready]
+         — the same order [Sched.trace] sorts decisions over, so the
+         explorer can index footprints by (decision point, choice). *)
+      (match eng.footprints with
+      | None -> ()
+      | Some buf -> Array.iter (fun p -> Vec.push buf (pending_footprint eng p)) ready);
       let pid = Sched.pick eng.sched ~runnable:ready ~step:eng.step in
       eng.last_sched.(pid) <- eng.step;
       step_process eng pid;

@@ -100,6 +100,8 @@ val run :
   ?stall_window:int ->
   ?on_crash:(pid:int -> step:int -> unit) ->
   ?on_op:(Crash.op_info -> unit) ->
+  ?footprints:Footprint.t Vec.t ->
+  ?footprint_crashy:(int -> bool) ->
   n:int ->
   model:Memory.model ->
   sched:Sched.t ->
@@ -125,6 +127,16 @@ val run :
     crash sites [(pid, op_index, kind, cell)] of a run (the sweep engine's
     discovery pass).  It fires before the crash plan is consulted, so
     instructions suppressed by a [Crash Before] are still observed.
+
+    [footprints], when supplied, receives one {!Footprint.t} per runnable
+    pid at every scheduling decision, pushed in ascending pid order — the
+    order {!Sched.trace} sorts choices over — before the scheduler picks.
+    Indexing by the per-decision branching degrees recovers the footprint
+    of every (decision point, choice) pair; this is the oracle behind the
+    explorer's partial-order reduction.  [footprint_crashy pid] (default
+    [fun _ -> false]) marks pids whose steps the crash plan may strike
+    (see {!Crash.por_class}); their footprints carry the crashy flag so
+    crash teardown is treated as part of the step.
 
     [run] is re-entrant and domain-safe: all engine state (store, fibers,
     statistics) is allocated per call, so independent runs may execute

@@ -1,0 +1,116 @@
+(* Access footprints for partial-order reduction.
+
+   A footprint describes, in one unboxed int, what a single engine step
+   touches: the stepping pid, the shared location involved, and whether the
+   access commutes with other accesses to the same location.  The explorer
+   asks [independent] whether two steps of different processes can be
+   swapped without changing any observable verdict; every "don't know" in
+   the encoding errs towards "dependent", which costs pruning but never
+   soundness.
+
+   Layout (low to high bits):
+     0-1   class: 0 local, 1 read, 2 write, 3 global
+     2     crashy: the crash plan may fire on this step, so the step may
+           additionally perform crash teardown (CS/lock bookkeeping)
+     3-18  pid (16 bits)
+     19+   location code: 0 none, 1 the application-CS pseudo-cell,
+           2k+2 the real memory cell k, 2k+3 the pseudo-cell of lock k
+
+   The pseudo-cells exist because the engine's aggregate statistics are
+   shared state too: [cs_max] and per-lock [max_occupancy] are running
+   maxima, and swapping an enter with another process's exit changes the
+   observed peak.  Segment notes that only touch per-process counters
+   ([Req_begin], [Req_done], levels, paths) are local. *)
+
+type t = int
+
+let cls_local = 0
+
+let cls_read = 1
+
+let cls_write = 2
+
+let cls_global = 3
+
+let code_none = 0
+
+let code_cs = 1
+
+let code_cell id = (2 * id) + 2
+
+let code_lock id = (2 * id) + 3
+
+let max_pid = 0xffff
+
+let make ~pid ~crashy cls code =
+  (code lsl 19) lor (pid lsl 3) lor (if crashy then 4 else 0) lor cls
+
+let local ~pid = make ~pid ~crashy:false cls_local code_none
+
+let pid t = (t lsr 3) land max_pid
+
+let cls t = t land 3
+
+let crashy t = t land 4 <> 0
+
+let code t = t lsr 19
+
+(* Pseudo-cells: the CS marker and the per-lock occupancy markers. *)
+let is_pseudo code = code = 1 || (code >= 3 && code land 1 = 1)
+
+(* A woken waiter's pending step re-checks its spin cell. *)
+let waiting ~pid (c : Cell.t) = make ~pid ~crashy:false cls_write (code_cell c.Cell.id)
+
+let of_note ~pid ~crashy (n : Event.note) =
+  match n with
+  | Event.Seg (Event.Cs_begin | Event.Cs_end) -> make ~pid ~crashy cls_write code_cs
+  | Event.Seg (Event.Ncs_begin | Event.Req_begin | Event.Req_done) ->
+      make ~pid ~crashy cls_local code_none
+  | Event.Lock_acquired id | Event.Lock_release id | Event.Lock_enter id
+  | Event.Lock_released id ->
+      make ~pid ~crashy cls_write (code_lock id)
+  | Event.Level _ | Event.Path _ | Event.Custom _ -> make ~pid ~crashy cls_local code_none
+
+let of_view : type a. pid:int -> crashy:bool -> a Api.view -> t =
+ fun ~pid ~crashy view ->
+  match view with
+  | Api.V_read c -> make ~pid ~crashy cls_read (code_cell c.Cell.id)
+  | Api.V_write (c, _) -> make ~pid ~crashy cls_write (code_cell c.Cell.id)
+  | Api.V_cas (c, _, _) -> make ~pid ~crashy cls_write (code_cell c.Cell.id)
+  | Api.V_fas (c, _) -> make ~pid ~crashy cls_write (code_cell c.Cell.id)
+  | Api.V_fas_open_unsafe (_, c, _) -> make ~pid ~crashy cls_write (code_cell c.Cell.id)
+  | Api.V_write_close_unsafe (_, c, _) -> make ~pid ~crashy cls_write (code_cell c.Cell.id)
+  (* Touches two cells atomically; a single-location footprint cannot
+     express that, so it conflicts with everything. *)
+  | Api.V_fas_persist _ -> make ~pid ~crashy cls_global code_none
+  | Api.V_faa (c, _) -> make ~pid ~crashy cls_write (code_cell c.Cell.id)
+  (* Spins park and their writers unpark: order against any access to the
+     cell matters, so the whole wait protocol is write-class. *)
+  | Api.V_spin (c, _) -> make ~pid ~crashy cls_write (code_cell c.Cell.id)
+  | Api.V_note n -> of_note ~pid ~crashy n
+  | Api.V_get_done -> make ~pid ~crashy cls_local code_none
+  | Api.V_yield -> make ~pid ~crashy cls_local code_none
+
+(* Crash teardown (close the CS, drop held locks, forget the cache) commutes
+   with other processes' plain memory accesses but not with anything that
+   reads or moves the same aggregate state: the pseudo-cells, global steps,
+   and other potentially-crashing steps. *)
+let crash_conflict a b = crashy a && (crashy b || is_pseudo (code b) || cls b = cls_global)
+
+let independent a b =
+  let ca = a land 3 and cb = b land 3 in
+  if ca = cls_global || cb = cls_global then false
+  else if crash_conflict a b || crash_conflict b a then false
+  else if ca = cls_local || cb = cls_local then true
+  else code a <> code b || (ca = cls_read && cb = cls_read)
+
+let pp ppf t =
+  let k = match cls t with 0 -> "local" | 1 -> "read" | 2 -> "write" | _ -> "global" in
+  let loc =
+    let c = code t in
+    if c = code_none then ""
+    else if c = code_cs then "@CS"
+    else if c land 1 = 1 then Printf.sprintf "@lock%d" ((c - 3) / 2)
+    else Printf.sprintf "@cell%d" ((c - 2) / 2)
+  in
+  Fmt.pf ppf "p%d:%s%s%s" (pid t) k loc (if crashy t then "!" else "")

@@ -1,0 +1,40 @@
+(** Access footprints for partial-order reduction.
+
+    One unboxed int per pending step, recording the stepping pid, the shared
+    location it touches, and the access class.  The explorer's sleep-set
+    reduction (see {!Rme_check.Explore}) consults {!independent} to decide
+    whether two steps of different processes commute; the relation is
+    conservative, so every "maybe" answers dependent and only true
+    commutation is pruned. *)
+
+type t = private int
+
+val local : pid:int -> t
+(** A step that touches no shared state (the initial dispatch of a process
+    body, per-process segment notes, yields). *)
+
+val waiting : pid:int -> Cell.t -> t
+(** Pending step of a woken waiter: a re-check of its spin cell (write
+    class — parking and unparking do not commute with accesses to the
+    cell). *)
+
+val of_view : pid:int -> crashy:bool -> 'a Api.view -> t
+(** Footprint of a suspended operation.  [crashy] marks steps of processes
+    the crash plan may strike: such a step may additionally run crash
+    teardown (closing the CS, releasing held locks), which conflicts with
+    the CS/lock pseudo-cells and with other crashy steps. *)
+
+val pid : t -> int
+
+val crashy : t -> bool
+
+val independent : t -> t -> bool
+(** [independent a b] holds when swapping adjacent steps with footprints [a]
+    and [b] (of different pids) provably preserves the final engine state
+    and every aggregate statistic a check can observe.  Read/read on the
+    same cell commutes; anything involving a write, RMW, or park/unpark on
+    that cell does not.  Segment and lock lifecycle notes are treated as
+    writes to per-concern pseudo-cells because they move running maxima
+    ([cs_max], lock occupancy). *)
+
+val pp : t Fmt.t

@@ -66,16 +66,42 @@ let burst ~seed ~len =
         end);
   }
 
+(* Ascending copy of [runnable] in a scratch buffer reused across picks —
+   this runs once per engine step of every explored run, so no per-pick
+   allocation and no polymorphic compare.  The engine already produces
+   runnable sets in ascending pid order, making the insertion sort a single
+   verification pass.  Only the first [Array.length runnable] entries of
+   the returned buffer are meaningful. *)
+let sorted_scratch () =
+  let buf = ref [||] in
+  fun (runnable : int array) ->
+    let len = Array.length runnable in
+    if Array.length !buf < len then buf := Array.make (max 16 (2 * len)) 0;
+    let a = !buf in
+    Array.blit runnable 0 a 0 len;
+    for i = 1 to len - 1 do
+      let v = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && a.(!j) > v do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- v
+    done;
+    a
+
 let recording ~inner ~decisions =
+  let sorted_of = sorted_scratch () in
   {
     label = Printf.sprintf "recording(%s)" inner.label;
     pick =
       (fun ~runnable ~step ->
         let chosen = inner.pick ~runnable ~step in
-        let sorted = Array.copy runnable in
-        Array.sort compare sorted;
+        let sorted = sorted_of runnable in
         let idx = ref 0 in
-        Array.iteri (fun i p -> if p = chosen then idx := i) sorted;
+        for i = 0 to Array.length runnable - 1 do
+          if sorted.(i) = chosen then idx := i
+        done;
         Vec.push decisions !idx;
         chosen);
   }
@@ -84,16 +110,16 @@ exception Unfaithful of { position : int; choice : int; degree : int }
 
 let trace ?mismatch ?(strict = false) ~decisions ~record () =
   let i = ref 0 in
+  let sorted_of = sorted_scratch () in
   {
     label = "trace";
     pick =
       (fun ~runnable ~step:_ ->
-        let sorted = Array.copy runnable in
-        Array.sort compare sorted;
+        let sorted = sorted_of runnable in
         let choice = if !i < Vec.length decisions then Vec.get decisions !i else 0 in
         let position = !i in
         incr i;
-        let degree = Array.length sorted in
+        let degree = Array.length runnable in
         Vec.push record degree;
         (* A decision outside the branching degree means the replayed run no
            longer takes the branches the decision vector was recorded

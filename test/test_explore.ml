@@ -110,9 +110,8 @@ let test_shrink_keeps_nonreproducing_input () =
 
 let test_exhaustive_small_program () =
   (* Two processes, two instructions each: 4C2 = 6 interleavings. *)
-  let count = ref 0 in
-  let outcome =
-    Explore.explore ~max_runs:5_000 ~n:2 ~model:Memory.CC
+  let explore por =
+    Explore.explore ~por ~max_runs:5_000 ~n:2 ~model:Memory.CC
       ~crash:(fun () -> Crash.none)
       ~setup:(fun ctx -> Memory.alloc (Engine.Ctx.memory ctx) ~name:"c" 0)
       ~body:(fun c ~pid:_ ->
@@ -122,16 +121,24 @@ let test_exhaustive_small_program () =
           Api.write c 2;
           Api.note (Event.Seg Event.Req_done)
         end)
-      ~check:(fun _ ->
-        incr count;
-        None)
+      ~check:(fun _ -> None)
       ()
   in
-  check cb "exhausted" true outcome.Explore.exhausted;
+  let plain = explore false in
+  check cb "exhausted" true plain.Explore.exhausted;
   check cb
-    (Printf.sprintf "several interleavings (%d)" outcome.Explore.runs)
+    (Printf.sprintf "several interleavings (%d)" plain.Explore.runs)
     true
-    (outcome.Explore.runs > 50)
+    (plain.Explore.runs > 50);
+  (* The same tree under POR: the note/dispatch steps are local and get
+     slept away, but the same-cell writes stay dependent — the search
+     still exhausts, with strictly fewer runs. *)
+  let por = explore true in
+  check cb "por exhausted" true por.Explore.exhausted;
+  check cb
+    (Printf.sprintf "por prunes (%d < %d)" por.Explore.runs plain.Explore.runs)
+    true
+    (por.Explore.runs < plain.Explore.runs)
 
 let test_truncation_not_exhausted () =
   (* A correct lock under a tiny run budget: the search must report the
@@ -248,14 +255,186 @@ let test_parallel_clean_tree_identical () =
       ()
   in
   let seq =
-    run (Explore.explore ~max_runs:5_000 ?max_steps:None ?shrink_violations:None ?record:None)
+    run
+      (Explore.explore ~max_runs:5_000 ?max_steps:None ?shrink_violations:None ?record:None
+         ?por:None)
   in
   let par =
-    run (Explore.explore_parallel ~max_runs:5_000 ~domains:4 ?max_steps:None ?split_depth:None
-           ?shrink_violations:None ?record:None)
+    run
+      (Explore.explore_parallel ~max_runs:5_000 ~domains:4 ?max_steps:None ?split_depth:None
+         ?shrink_violations:None ?record:None ?por:None)
   in
   check cb "exhausted" true seq.Explore.exhausted;
   check cb "identical outcomes" true (seq = par)
+
+(* --- sleep-set POR equivalence ------------------------------------- *)
+
+(* The reduction must be invisible in the verdict: same [exhausted], same
+   first violation (message and shrunk witness), never more runs.  The
+   fixed subjects cover the three regimes the tentpole names: a clean
+   exhaustive tree (splitter), a WR FAS-gap violation at n=3, and the
+   composed SA stack at level 0. *)
+
+let equal_outcomes name (plain : Explore.outcome) (por : Explore.outcome) =
+  check cb (name ^ ": identical exhausted") true (por.Explore.exhausted = plain.Explore.exhausted);
+  check cb
+    (name ^ ": identical violation (message and shrunk witness)")
+    true
+    (por.Explore.violation = plain.Explore.violation);
+  check cb
+    (Printf.sprintf "%s: por runs <= plain runs (%d <= %d)" name por.Explore.runs
+       plain.Explore.runs)
+    true
+    (por.Explore.runs <= plain.Explore.runs)
+
+let splitter_setup ctx = Splitter.create ctx
+
+let splitter_body sp ~pid =
+  Api.note (Event.Seg Event.Req_begin);
+  (if Splitter.try_fast sp ~pid then begin
+     Api.note (Event.Seg Event.Cs_begin);
+     Api.yield ();
+     Api.note (Event.Seg Event.Cs_end);
+     Splitter.release sp ~pid
+   end);
+  Api.note (Event.Seg Event.Req_done)
+
+let me_or_deadlock res =
+  if res.Engine.cs_max > 1 then Some "ME violation"
+  else if res.Engine.deadlocked then Some "deadlock"
+  else None
+
+let explore_splitter ?(domains = 0) ~por ~crash () =
+  if domains = 0 then
+    Explore.explore ~por ~max_runs:200_000 ~max_steps:4_000 ~n:2 ~model:Memory.CC ~crash
+      ~setup:splitter_setup ~body:splitter_body ~check:me_or_deadlock ()
+  else
+    Explore.explore_parallel ~por ~domains ~max_runs:200_000 ~max_steps:4_000 ~n:2
+      ~model:Memory.CC ~crash ~setup:splitter_setup ~body:splitter_body ~check:me_or_deadlock ()
+
+let test_por_splitter_equivalence () =
+  let no_crash () = Crash.none in
+  let plain = explore_splitter ~por:false ~crash:no_crash () in
+  let por = explore_splitter ~por:true ~crash:no_crash () in
+  check cb "plain exhausts the splitter tree" true plain.Explore.exhausted;
+  check cb "no violation" true (plain.Explore.violation = None);
+  equal_outcomes "splitter" plain por;
+  check cb
+    (Printf.sprintf "at least 2x fewer runs (%d vs %d)" por.Explore.runs plain.Explore.runs)
+    true
+    (2 * por.Explore.runs <= plain.Explore.runs)
+
+let test_por_parallel_byte_identical () =
+  (* Acceptance: with POR on, the parallel explorer returns byte-identical
+     outcomes for 1, 2 and 4 domains (and the sequential search) on a
+     clean exhaustive tree. *)
+  let no_crash () = Crash.none in
+  let seq = explore_splitter ~por:true ~crash:no_crash () in
+  check cb "exhausted" true seq.Explore.exhausted;
+  List.iter
+    (fun domains ->
+      let par = explore_splitter ~domains ~por:true ~crash:no_crash () in
+      check cb (Printf.sprintf "%d domains byte-identical" domains) true (par = seq))
+    [ 1; 2; 4 ]
+
+let test_por_wr_gap_equivalence () =
+  let run por =
+    Explore.explore ~por ~max_runs:20_000 ~max_steps:4_000 ~n:3 ~model:Memory.CC
+      ~crash:wr_gap_crash ~setup:wr_gap_setup ~body:wr_gap_body ~check:wr_gap_check ()
+  in
+  let plain = run false in
+  let por = run true in
+  check cb "plain finds the FAS-gap violation" true (plain.Explore.violation <> None);
+  equal_outcomes "wr-gap" plain por
+
+(* SA stack at level 0 around the same FAS gap, now inside the composed
+   lock's WR filter: p2 crashes right after the filter's tail FAS while p1
+   parks in the application CS (holding the filter) until p0 opens the
+   gate.  The recovery path relinquishes the orphaned node and re-enters
+   the filter past the still-parked p1 — a weak-ME overlap of the filter
+   that the surrounding splitter/arbitrator absorbs, so the check trips on
+   the filter's occupancy, not on the application CS. *)
+let sa0_setup ctx =
+  let gate = Memory.alloc (Engine.Ctx.memory ctx) ~name:"gate" 0 in
+  let sa =
+    Sa_lock.create ~name:"sa0" ~level:0 ~core:(Bakery.make_named ~name:"sa0.core" ctx) ctx
+  in
+  (Sa_lock.lock sa, gate)
+
+let sa0_body (lock, gate) ~pid =
+  if pid = 0 then begin
+    for _ = 1 to 3 do
+      Api.yield ()
+    done;
+    Api.write gate 1
+  end
+  else begin
+    let cs ~pid = if pid = 1 then Api.spin_until gate (Api.Eq 1) in
+    Harness.standard_body ~cs ~lock ~requests:1 pid
+  end
+
+let sa0_crash () = Crash.on_kind ~pid:2 ~kind:Api.Fas ~occurrence:0 Crash.After
+
+let sa0_check res =
+  if res.Engine.cs_max > 1 then Some "ME violation"
+  else if
+    Array.exists
+      (fun (l : Engine.lock_stats) ->
+        l.Engine.lock_name = "sa0.filter" && l.Engine.max_occupancy > 1)
+      res.Engine.locks
+  then Some "filter overlap"
+  else None
+
+let test_por_sa0_equivalence () =
+  let run por =
+    Explore.explore ~por ~max_runs:20_000 ~max_steps:6_000 ~n:3 ~model:Memory.CC ~crash:sa0_crash
+      ~setup:sa0_setup ~body:sa0_body ~check:sa0_check ()
+  in
+  let plain = run false in
+  let por = run true in
+  (match plain.Explore.violation with
+  | Some ("filter overlap", _) -> ()
+  | Some (msg, _) -> Alcotest.failf "unexpected violation %S" msg
+  | None -> Alcotest.failf "missed the filter overlap (%d runs)" plain.Explore.runs);
+  equal_outcomes "sa0" plain por
+
+let test_por_exhausts_wr_tree () =
+  (* The WR ME tree at n=2 is far beyond plain enumeration (measured at
+     > 40M interleavings); POR exhausts it outright.  Giving the unpruned
+     search a budget of several times the POR count and watching it fail
+     to finish turns the reduction factor into a proven lower bound. *)
+  let run ~por ~max_runs =
+    Explore.explore ~por ~max_runs ~max_steps:4_000 ~n:2 ~model:Memory.CC
+      ~crash:(fun () -> Crash.none)
+      ~setup:Wr_lock.make
+      ~body:(fun lock ~pid -> Harness.standard_body ~lock ~requests:1 pid)
+      ~check:wr_gap_check ()
+  in
+  let por = run ~por:true ~max_runs:100_000 in
+  check cb "por exhausts wr n=2" true por.Explore.exhausted;
+  check cb "no violation" true (por.Explore.violation = None);
+  let plain = run ~por:false ~max_runs:(4 * por.Explore.runs) in
+  check cb "plain exceeds 4x the por count without exhausting" false plain.Explore.exhausted;
+  check cb "plain found no violation either" true (plain.Explore.violation = None)
+
+let test_por_differential_sweep () =
+  (* Seeded sweep over random schedule-robust crash plans on the splitter
+     subject: whatever the plan does to the tree, plain and POR must agree
+     on the verdict, and POR must never run more schedules. *)
+  let rng = Random.State.make [| 0x9053; 41 |] in
+  for case = 1 to 12 do
+    let pid = Random.State.int rng 2 in
+    let nth = Random.State.int rng 8 in
+    let point = if Random.State.bool rng then Crash.Before else Crash.After in
+    let crash () = Crash.at_op ~pid ~nth point in
+    let name =
+      Printf.sprintf "case %d (pid %d, op %d, %s)" case pid nth
+        (match point with Crash.Before -> "before" | Crash.After -> "after")
+    in
+    let plain = explore_splitter ~por:false ~crash () in
+    let por = explore_splitter ~por:true ~crash () in
+    equal_outcomes name plain por
+  done
 
 let () =
   Alcotest.run "explore"
@@ -286,5 +465,18 @@ let () =
         [
           Alcotest.test_case "unit" `Quick test_shrink_unit;
           Alcotest.test_case "non-reproducing input" `Quick test_shrink_keeps_nonreproducing_input;
+        ] );
+      ( "por",
+        [
+          Alcotest.test_case "splitter: plain/por equivalence" `Quick
+            test_por_splitter_equivalence;
+          Alcotest.test_case "splitter: 1/2/4 domains byte-identical" `Quick
+            test_por_parallel_byte_identical;
+          Alcotest.test_case "wr FAS-gap: plain/por equivalence" `Quick
+            test_por_wr_gap_equivalence;
+          Alcotest.test_case "sa level-0: plain/por equivalence" `Quick test_por_sa0_equivalence;
+          Alcotest.test_case "wr n=2: por exhausts, plain cannot" `Quick
+            test_por_exhausts_wr_tree;
+          Alcotest.test_case "differential crash-plan sweep" `Quick test_por_differential_sweep;
         ] );
     ]
