@@ -621,47 +621,79 @@ let adversary () =
 (* ------------------------------------------------------------------ *)
 
 let explore_bench () =
-  Fmt.pr "@.=== Explorer throughput: sequential DFS vs domain-sharded pool ===@.@.";
-  (* Three processes, one WR-Lock request each: a schedule tree far larger
-     than the budget, so every configuration executes exactly [max_runs]
-     runs and the wall-clock ratio is the engine-throughput ratio.  POR is
-     off here on purpose — this section isolates raw engine throughput,
-     keeping the runs/s trajectory comparable across revisions. *)
+  Fmt.pr "@.=== Explorer throughput: sequential DFS vs checkpointed parallel search ===@.@.";
+  (* Three processes, two WR-Lock requests each: a schedule tree far larger
+     than the budget, so every configuration visits exactly [max_runs] runs
+     and the wall-clock ratio measures the work done per run.  POR is off
+     on purpose — this section isolates the engine, not the pruning.  The
+     parallel rows resume every subtree from the nearest engine checkpoint
+     instead of replaying its decision prefix live, so they do strictly
+     less work per run than the sequential DFS; that algorithmic saving is
+     what the speedup column certifies, which is why it already shows up
+     at domains=1 and survives on single-core hosts (where Pool clamps the
+     worker count to the hardware and domain parallelism contributes
+     nothing). *)
   let check res =
     if res.Engine.cs_max > 1 then Some "ME violation"
     else if res.Engine.deadlocked then Some "deadlock"
     else None
   in
-  let body lock ~pid = Rme_sim.Harness.standard_body ~lock ~requests:1 pid in
+  let body lock ~pid = Rme_sim.Harness.standard_body ~lock ~requests:2 pid in
   let crash () = Crash.none in
-  let run_case ~max_runs = function
+  let max_runs = 4_000 in
+  let run_case = function
     | None ->
         Rme_check.Explore.explore ~por:false ~max_runs ~max_steps:4_000 ~shrink_violations:false
           ~n:3 ~model:Memory.CC ~crash ~setup:Wr_lock.make ~body ~check ()
     | Some domains ->
-        Rme_check.Explore.explore_parallel ~por:false ~domains ~max_runs ~max_steps:4_000
-          ~shrink_violations:false ~n:3 ~model:Memory.CC ~crash ~setup:Wr_lock.make ~body ~check
-          ()
+        Rme_check.Explore.explore_parallel ~por:false ~snap_gap:8 ~domains ~max_runs
+          ~max_steps:4_000 ~shrink_violations:false ~n:3 ~model:Memory.CC ~crash
+          ~setup:Wr_lock.make ~body ~check ()
   in
   let time f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
   in
-  (* Warm up allocators/code paths so the first row is not penalised. *)
-  let (_ : Rme_check.Explore.outcome) = run_case ~max_runs:200 (Some 2) in
-  let seq_rate = ref 0.0 in
+  let divergence = ref false in
+  (* Warm up allocators/code paths, and fix the reference outcome every
+     configuration must reproduce byte-for-byte. *)
+  let reference = run_case None in
+  let cases =
+    [ ("sequential", None); ("domains=1", Some 1); ("domains=2", Some 2); ("domains=4", Some 4) ]
+  in
+  (* Wall-clock noise on shared runners dwarfs the effect under test (the
+     same binary's sequential baseline has been observed drifting 30%
+     between back-to-back runs), so every round re-times every case and
+     each case keeps its best round: the ratio of two minima is far more
+     stable than any single reading. *)
+  let rounds = 7 in
+  let best = Array.make (List.length cases) infinity in
+  for _ = 1 to rounds do
+    List.iteri
+      (fun i (label, domains) ->
+        let o, dt = time (fun () -> run_case domains) in
+        if dt < best.(i) then best.(i) <- dt;
+        if o <> reference then begin
+          divergence := true;
+          Fmt.pr "DIVERGENCE on %s:@.  expected: %a@.  got:      %a@." label
+            Rme_check.Explore.pp_outcome reference Rme_check.Explore.pp_outcome o
+        end)
+      cases
+  done;
   let throughput =
-    List.map
-      (fun (label, domains) ->
-        let o, dt = time (fun () -> run_case ~max_runs:2_000 domains) in
-        let rate = float_of_int o.Rme_check.Explore.runs /. dt in
-        if domains = None then seq_rate := rate;
-        (label, o.Rme_check.Explore.runs, dt, rate, rate /. !seq_rate))
-      [ ("sequential", None); ("domains=2", Some 2); ("domains=4", Some 4) ]
+    List.mapi
+      (fun i (label, _) ->
+        let dt = best.(i) in
+        ( label,
+          reference.Rme_check.Explore.runs,
+          dt,
+          float_of_int reference.Rme_check.Explore.runs /. dt,
+          best.(0) /. dt ))
+      cases
   in
   table
-    ~header:[ "explorer"; "runs"; "wall clock"; "runs/s"; "speedup" ]
+    ~header:[ "explorer"; "runs"; "best of 7"; "runs/s"; "speedup" ]
     ~rows:
       (List.map
          (fun (label, runs, dt, rate, speedup) ->
@@ -673,14 +705,24 @@ let explore_bench () =
              Printf.sprintf "%.2fx" speedup;
            ])
          throughput);
-  Fmt.pr "@.(same schedule tree, same budget; the pool shards disjoint decision-vector@.\
-          prefixes across domains — Pool.map cancels nothing here, so runs match)@.";
+  Fmt.pr "@.(same schedule tree, same budget, byte-identical outcomes; the parallel@.\
+          explorer splits the frontier into tasks, restarts each subtree from the@.\
+          nearest checkpoint, and work-steals across domains — the speedup is@.\
+          algorithmic, from replay avoided, so it holds at every domain count)@.";
   let cores = Domain.recommended_domain_count () in
   Fmt.pr "@.hardware parallelism: %d@." cores;
   if cores < 2 then
-    Fmt.pr "NOTE: single-core host — OCaml domains time-share one CPU and every@.\
-            minor GC is a stop-the-world barrier across them, so the ratio above@.\
-            measures pure sharding overhead; speedup > 1 needs >= 2 cores.@.";
+    Fmt.pr "NOTE: single-core host — Pool clamps spawned workers to the hardware@.\
+            (oversubscribed OCaml domains only add stop-the-world GC barriers), so@.\
+            all rows above run one worker and the speedup is checkpointing alone;@.\
+            domain parallelism adds its factor on multi-core machines.@.";
+  let speedup_at label =
+    List.fold_left (fun acc (l, _, _, _, s) -> if l = label then s else acc) 0.0 throughput
+  in
+  let gate_fail = speedup_at "domains=2" < 1.0 in
+  if gate_fail then
+    Fmt.pr "@.FAIL: domains=2 is slower than the sequential explorer (%.2fx < 1.00x)@."
+      (speedup_at "domains=2");
   (* --- sleep-set partial-order reduction ---------------------------- *)
   Fmt.pr "@.=== Sleep-set POR: plain vs reduced search ===@.@.";
   (* Two kinds of evidence.  Where the unpruned search can finish (the
@@ -747,15 +789,18 @@ let explore_bench () =
       ~setup:Rme_locks.Splitter.create ~body:splitter_body ~check ()
   in
   (* WR-Lock ME at n=2 / SA stack (sa-jjj) ME at n=2: POR exhausts trees the
-     plain search provably cannot cover in 4x the runs. *)
+     plain search provably cannot cover in 4x the runs.  One request per
+     process — the two-request throughput subject above has a tree too deep
+     for even the reduced search to exhaust. *)
+  let body_one lock ~pid = Rme_sim.Harness.standard_body ~lock ~requests:1 pid in
   let wr_n2 ~por ~max_runs =
     Rme_check.Explore.explore ~por ~max_runs ~max_steps:4_000 ~shrink_violations:false ~n:2
-      ~model:Memory.CC ~crash ~setup:Wr_lock.make ~body ~check ()
+      ~model:Memory.CC ~crash ~setup:Wr_lock.make ~body:body_one ~check ()
   in
   let sa_n2 ~por ~max_runs =
     let make = (Rme.Spec.find_exn "sa-jjj").Rme.Spec.make in
     Rme_check.Explore.explore ~por ~max_runs ~max_steps:20_000 ~shrink_violations:false ~n:2
-      ~model:Memory.CC ~crash ~setup:make ~body ~check ()
+      ~model:Memory.CC ~crash ~setup:make ~body:body_one ~check ()
   in
   (* WR-Lock ME at n=3 around the unsafe FAS gap (the Figure 1 scenario,
      staged as in the explorer tests): both searches stop at the identical
@@ -841,7 +886,7 @@ let explore_bench () =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (Buffer.contents buf));
   Fmt.pr "@.(json: %s)@." path;
-  if !divergence then exit 1
+  if !divergence || gate_fail then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Sweep throughput: crash-site campaign cost per lock                  *)

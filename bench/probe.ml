@@ -1,0 +1,114 @@
+(* Scratch scaling probe for the checkpointed explorer: times the same
+   WR n=3 search as the explore bench at several snapshot gaps and domain
+   counts, against the sequential DFS baseline.  Dev tool, not part of the
+   recorded bench trajectory. *)
+
+open Rme_sim
+open Rme_locks
+
+let check res =
+  if res.Engine.cs_max > 1 then Some "ME violation"
+  else if res.Engine.deadlocked then Some "deadlock"
+  else None
+
+let requests = try int_of_string (Sys.getenv "PROBE_REQUESTS") with Not_found -> 1
+let nproc = try int_of_string (Sys.getenv "PROBE_N") with Not_found -> 3
+
+let body lock ~pid = Harness.standard_body ~lock ~requests pid
+
+let crash () = Crash.none
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let max_runs = try int_of_string (Sys.getenv "PROBE_RUNS") with Not_found -> 4_000 in
+  let seq () =
+    Rme_check.Explore.explore ~por:false ~max_runs ~max_steps:4_000 ~shrink_violations:false
+      ~n:nproc ~model:Memory.CC ~crash ~setup:Wr_lock.make ~body ~check ()
+  in
+  let par ~snap_gap ~domains () =
+    Rme_check.Explore.explore_parallel ~por:false ~snap_gap ~domains ~max_runs ~max_steps:4_000
+      ~shrink_violations:false ~n:nproc ~model:Memory.CC ~crash ~setup:Wr_lock.make ~body ~check ()
+  in
+  ignore (par ~snap_gap:4 ~domains:2 ());
+  let best f =
+    let d = ref infinity in
+    for _ = 1 to 3 do
+      let _, dt = time f in
+      if dt < !d then d := dt
+    done;
+    !d
+  in
+  let words f =
+    let before = Gc.allocated_bytes () in
+    ignore (f ());
+    (Gc.allocated_bytes () -. before) /. 8.0
+  in
+  Printf.printf "alloc/run: seq %.0f w | par gap=8 %.0f w\n%!"
+    (words seq /. float_of_int max_runs)
+    (words (par ~snap_gap:8 ~domains:1) /. float_of_int max_runs);
+  let base = best seq in
+  Printf.printf "sequential: %.3fs (%.0f runs/s)\n%!" base (float_of_int max_runs /. base);
+  List.iter
+    (fun snap_gap ->
+      List.iter
+        (fun domains ->
+          (* Interleave a fresh baseline with each configuration so host
+             noise hits both sides of the ratio. *)
+          let b = best seq in
+          let dt = best (par ~snap_gap ~domains) in
+          Printf.printf "gap=%3d domains=%d: %.3fs speedup %.2fx (base %.3fs)\n%!" snap_gap
+            domains dt (b /. dt) b)
+        [ 1; 4 ])
+    [ 1; 2; 4; 8; 16 ];
+  let base' = best seq in
+  Printf.printf "sequential again: %.3fs (drift %.2fx)\n%!" base' (base /. base');
+  (* Phase microbench on the root schedule: live run without recording,
+     live run with journal recording + captures, and a resume from the
+     deepest snapshot (pure fast-forward).  [reps] identical runs each. *)
+  let reps = 2_000 in
+  let plain () =
+    let record = Vec.create () in
+    let sched = Sched.trace ~decisions:(Vec.create ()) ~record () in
+    ignore
+      (Engine.run ~max_steps:4_000 ~n:nproc ~model:Memory.CC ~sched ~crash:(crash ())
+         ~setup:Wr_lock.make ~body ())
+  in
+  let deepest = ref None in
+  let recorded () =
+    let snaps = Vec.create () in
+    ignore
+      (Engine.run_resumable ~snap_gap:16 ~snap:(Vec.push snaps) ~max_steps:4_000 ~decisions:[||]
+         ~n:nproc ~model:Memory.CC ~crash ~setup:Wr_lock.make ~body ());
+    deepest := Some (Vec.last snaps)
+  in
+  let resumed () =
+    match !deepest with
+    | None -> assert false
+    | Some s ->
+        ignore
+          (Engine.run_resumable ~from:s ~max_steps:4_000
+             ~decisions:(Array.make (Engine.Snap.pos s) 0) ~n:nproc ~model:Memory.CC ~crash
+             ~setup:Wr_lock.make ~body ())
+  in
+  recorded ();
+  let t_plain = best (fun () -> for _ = 1 to reps do plain () done) in
+  let t_rec = best (fun () -> for _ = 1 to reps do recorded () done) in
+  let t_res = best (fun () -> for _ = 1 to reps do resumed () done) in
+  Printf.printf "root run x%d: plain %.3fs | record+snap %.3fs (%.2fx) | resume-deep %.3fs (%.2fx)\n%!"
+    reps t_plain t_rec (t_rec /. t_plain) t_res (t_res /. t_plain);
+  (* Fixed per-run cost: engine + store construction and lock setup with a
+     body that does nothing. *)
+  let fixed () =
+    let sched = Sched.trace ~decisions:(Vec.create ()) ~record:(Vec.create ()) () in
+    ignore
+      (Engine.run ~max_steps:4_000 ~n:nproc ~model:Memory.CC ~sched ~crash:(crash ())
+         ~setup:Wr_lock.make
+         ~body:(fun _ ~pid:_ -> ())
+         ())
+  in
+  let t_fixed = best (fun () -> for _ = 1 to reps do fixed () done) in
+  Printf.printf "fixed (setup+alloc only): %.3fs (%.2fx of plain)\n%!" t_fixed (t_fixed /. t_plain)

@@ -217,128 +217,294 @@ let explore ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = tr
 (* Parallel exploration                                                *)
 (* ------------------------------------------------------------------ *)
 
-(* The frontier is an ordered list of schedule-tree positions: a [Todo]
-   subtree still to be explored (with the sleep set it inherits), or the
-   [Violation] of an already-executed frontier run.  The order is DFS
-   preorder of the sequential explorer, so "first element with a violation"
-   means the same thing it does there. *)
-type item = Todo of int list * Footprint.t list | Violation of string * int list
+(* The skeleton is the DFS preorder of the schedule tree, cut at the split
+   frontier: a [Done] marker for each interior node the (sequential)
+   expansion phase already ran, a [Task] for each unexpanded subtree (with
+   the sleep set it inherits), or the [Viol]ation of an expanded node —
+   always the last item, since expansion stops there.  Keeping the [Done]
+   markers in position is what lets the settlement walk reconstruct the
+   exact sequential run count. *)
+type item = Done | Task of int list * Footprint.t list | Viol of string * int list
+
+(* Checkpointed DFS of the subtree rooted at [prefix0]: visits the same
+   nodes in the same preorder as [subtree], but every node's run resumes
+   from the deepest engine checkpoint on the current path — captured every
+   [snap_gap] decision positions during the parent runs — instead of
+   replaying its whole decision-vector prefix from the root.  On the
+   explore bench this turns a run whose schedule shares a depth-[k] prefix
+   with its parent from O(full run) into O(fast-forward k + suffix).
+
+   [take_run] is consulted once per node, before its run, and returns
+   [false] to abandon the subtree (budget provably exhausted); [stop] is
+   the pool's cancellation signal.  Returns [`Done] (subtree exhausted),
+   [`Cut] (abandoned), or the first violation in preorder. *)
+let subtree_ckpt d ~snap_gap ~take_run ~stop (prefix0, sleep0) =
+  let exception Halt in
+  let exception Found of string * int list in
+  let rec go (base : Engine.Snap.t option) (decisions : int array) sleep0 =
+    if stop () then raise Halt;
+    if not (take_run ()) then raise Halt;
+    let snaps = Vec.create () in
+    let rr =
+      Engine.run_resumable ?from:base ~snap_gap ~snap:(Vec.push snaps) ~record:d.record
+        ~max_steps:d.max_steps ~por:d.por ~footprint_crashy:d.crashy ~decisions ~n:d.n
+        ~model:d.model ~crash:d.crash ~setup:d.setup ~body:d.body ()
+    in
+    let res = rr.Engine.rr_result in
+    (match d.check res with
+    | Some msg -> raise (Found (msg, Array.to_list decisions))
+    | None -> ());
+    let branches = rr.Engine.rr_degrees in
+    (* Same timed-out fallback as [subtree]: the coverage argument permutes
+       complete runs only. *)
+    let fps = if (not d.por) || res.Engine.timed_out then None else Some rr.Engine.rr_footprints in
+    let depth = Array.length decisions in
+    let off = ref 0 in
+    (match fps with
+    | None -> ()
+    | Some _ ->
+        for i = 0 to depth - 1 do
+          off := !off + branches.(i)
+        done);
+    (* Deepest checkpoint at position <= i; the first eligible position
+       (= [depth]) is always captured, so children never fall back past
+       this node's own run. *)
+    let si = ref 0 in
+    let base_for i =
+      while !si < Vec.length snaps && Engine.Snap.pos (Vec.get snaps !si) <= i do
+        incr si
+      done;
+      if !si = 0 then base else Some (Vec.get snaps (!si - 1))
+    in
+    let child i c =
+      let v = Array.make (i + 1) 0 in
+      Array.blit decisions 0 v 0 depth;
+      v.(i) <- c;
+      v
+    in
+    let sleep = ref (match fps with None -> [] | Some _ -> sleep0) in
+    for i = depth to Array.length branches - 1 do
+      let degree = branches.(i) in
+      (match fps with
+      | None ->
+          for c = 1 to degree - 1 do
+            go (base_for i) (child i c) []
+          done
+      | Some fv ->
+          let fp_at c = fv.(!off + c) in
+          if degree > 1 then begin
+            let explored = ref !sleep in
+            for c = 1 to degree - 1 do
+              let fpc = fp_at c in
+              let pidc = Footprint.pid fpc in
+              if List.exists (fun s -> Footprint.pid s = pidc) !sleep then ()
+              else begin
+                go (base_for i) (child i c)
+                  (List.filter (fun s -> Footprint.independent s fpc) !explored);
+                explored := fpc :: !explored
+              end
+            done;
+            sleep := List.filter (fun s -> Footprint.independent s (fp_at 0)) !explored
+          end
+          else sleep := List.filter (fun s -> Footprint.independent s (fp_at 0)) !sleep;
+          off := !off + degree)
+    done
+  in
+  match go None (Array.of_list prefix0) sleep0 with
+  | () -> `Done
+  | exception Halt -> `Cut
+  | exception Found (msg, tr) -> `Viol (msg, tr)
+
+(* What a pool task reports back: how many nodes it visited (one per
+   [take_run], exactly the sequential DFS's count for the same nodes), the
+   first violation in its preorder if any, and whether it stopped early. *)
+type task_result = { t_runs : int; t_viol : (string * int list) option; t_cut : bool }
 
 let explore_parallel ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = true)
-    ?(record = false) ?(por = true) ?domains ?(split_depth = 1) ~n ~model ~crash ~setup ~body
-    ~check () =
+    ?(record = false) ?(por = true) ?domains ?(split_depth = 1) ?(snap_gap = 4) ~n ~model ~crash
+    ~setup ~body ~check () =
   let por, crashy = por_setup ~por ~record ~crash in
   let d = { max_steps; record; n; model; crash; setup; body; check; por; crashy } in
-  let runs = Atomic.make 0 in
-  let truncated = Atomic.make false in
-  let take_run () =
-    let rec loop () =
-      let cur = Atomic.get runs in
-      if cur >= max_runs then begin
-        Atomic.set truncated true;
-        false
-      end
-      else if Atomic.compare_and_set runs cur (cur + 1) then true
-      else loop ()
-    in
-    loop ()
+  let ndomains =
+    match domains with Some x when x >= 1 -> x | Some _ -> 1 | None -> Pool.default_domains ()
   in
-  (* Execute one frontier prefix and turn it into its children, in the
-     order the sequential DFS would visit them, replicating [subtree]'s
-     sleep-set evolution so the pruned run set — and therefore the outcome
-     — is identical whatever the domain count. *)
-  let expand (prefix, sleep0) =
-    if not (take_run ()) then `Truncated
-    else begin
-      let res, branches, fps, _ = run_trace d prefix in
-      match d.check res with
-      | Some msg -> `Violation (msg, prefix)
-      | None ->
-          let fps = if res.Engine.timed_out then None else fps in
-          let depth = List.length prefix in
-          let off = ref 0 in
+  (* ---- Phase 1: adaptive frontier expansion (sequential). ----
+     Runs interior nodes and replaces each by [Done :: its children] until
+     there are enough tasks to keep every domain fed through imbalance
+     (~8x domains), the tree is exhausted, a violation surfaces (the
+     search ends at it — later items are dropped), or further splitting
+     cannot matter because the budget would already be spent.
+     [split_depth] forces a minimum number of levels (compatibility with
+     callers tuned against the fixed-depth splitter). *)
+  let expand_one (prefix, sleep0) =
+    let res, branches, fps, _ = run_trace d prefix in
+    match d.check res with
+    | Some msg -> `Viol (msg, prefix)
+    | None ->
+        let fps = if res.Engine.timed_out then None else fps in
+        let depth = List.length prefix in
+        let off = ref 0 in
+        (match fps with
+        | None -> ()
+        | Some _ ->
+            for i = 0 to depth - 1 do
+              off := !off + branches.(i)
+            done);
+        let rev_spine = ref (List.rev prefix) in
+        let sleep = ref (match fps with None -> [] | Some _ -> sleep0) in
+        let children = ref [] in
+        for i = depth to Array.length branches - 1 do
+          let degree = branches.(i) in
           (match fps with
-          | None -> ()
-          | Some _ ->
-              for i = 0 to depth - 1 do
-                off := !off + branches.(i)
-              done);
-          let rev_spine = ref (List.rev prefix) in
-          let sleep = ref (match fps with None -> [] | Some _ -> sleep0) in
-          let children = ref [] in
-          for i = depth to Array.length branches - 1 do
-            let degree = branches.(i) in
-            (match fps with
-            | None ->
+          | None ->
+              for c = 1 to degree - 1 do
+                children := Task (List.rev_append !rev_spine [ c ], []) :: !children
+              done
+          | Some fv ->
+              let fp_at c = Vec.get fv (!off + c) in
+              if degree > 1 then begin
+                let explored = ref !sleep in
                 for c = 1 to degree - 1 do
-                  children := Todo (List.rev_append !rev_spine [ c ], []) :: !children
-                done
-            | Some fv ->
-                let fp_at c = Vec.get fv (!off + c) in
-                if degree > 1 then begin
-                  let explored = ref !sleep in
-                  for c = 1 to degree - 1 do
-                    let fpc = fp_at c in
-                    let pidc = Footprint.pid fpc in
-                    if List.exists (fun s -> Footprint.pid s = pidc) !sleep then ()
-                    else begin
-                      children :=
-                        Todo
-                          ( List.rev_append !rev_spine [ c ],
-                            List.filter (fun s -> Footprint.independent s fpc) !explored )
-                        :: !children;
-                      explored := fpc :: !explored
-                    end
-                  done;
-                  sleep := List.filter (fun s -> Footprint.independent s (fp_at 0)) !explored
-                end
-                else sleep := List.filter (fun s -> Footprint.independent s (fp_at 0)) !sleep;
-                off := !off + degree);
-            rev_spine := 0 :: !rev_spine
-          done;
-          `Children (List.rev !children)
-    end
+                  let fpc = fp_at c in
+                  let pidc = Footprint.pid fpc in
+                  if List.exists (fun s -> Footprint.pid s = pidc) !sleep then ()
+                  else begin
+                    children :=
+                      Task
+                        ( List.rev_append !rev_spine [ c ],
+                          List.filter (fun s -> Footprint.independent s fpc) !explored )
+                      :: !children;
+                    explored := fpc :: !explored
+                  end
+                done;
+                sleep := List.filter (fun s -> Footprint.independent s (fp_at 0)) !explored
+              end
+              else sleep := List.filter (fun s -> Footprint.independent s (fp_at 0)) !sleep;
+              off := !off + degree);
+          rev_spine := 0 :: !rev_spine
+        done;
+        `Children (List.rev !children)
   in
-  (* Split the tree at [split_depth] frontier levels.  A violation found
-     while expanding ends the expansion: items after it in DFS order are
-     irrelevant (dropped), items before it keep their subtrees and are
-     still searched — one of them may hold an earlier violation. *)
-  let rec expand_levels level items =
-    if level >= split_depth then items
+  let target_tasks = max 16 (8 * ndomains) in
+  let count_tasks items =
+    List.fold_left (fun k it -> match it with Task _ -> k + 1 | Done | Viol _ -> k) 0 items
+  in
+  let count_done items =
+    List.fold_left (fun k it -> match it with Done -> k + 1 | Task _ | Viol _ -> k) 0 items
+  in
+  let rec grow level items =
+    let ntasks = count_tasks items in
+    let ndone = count_done items in
+    if
+      ntasks = 0 || level >= 64
+      || ndone + ntasks >= max_runs
+      || (level >= split_depth && ntasks >= target_tasks)
+    then items
     else begin
+      (* Expand every task one level, left to right, keeping order — no
+         item is ever silently dropped mid-level, so the skeleton (and
+         with it the truncation point) is the same whatever the budget. *)
       let rec walk acc = function
         | [] -> (List.rev acc, false)
-        | (Violation _ as it) :: _ -> (List.rev (it :: acc), true)
-        | Todo (p, s) :: rest -> (
-            match expand (p, s) with
-            | `Truncated -> (List.rev acc, true)
-            | `Violation (msg, tr) -> (List.rev (Violation (msg, tr) :: acc), true)
-            | `Children cs -> walk (List.rev_append cs acc) rest)
+        | (Viol _ as it) :: _ -> (List.rev (it :: acc), true)
+        | (Done as it) :: rest -> walk (it :: acc) rest
+        | Task (p, s) :: rest -> (
+            match expand_one (p, s) with
+            | `Viol (msg, tr) -> (List.rev (Viol (msg, tr) :: acc), true)
+            | `Children cs -> walk (List.rev_append (Done :: cs) acc) rest)
       in
-      let items', stop_expanding = walk [] items in
-      if stop_expanding then items' else expand_levels (level + 1) items'
+      let items', found_viol = walk [] items in
+      if found_viol then items' else grow (level + 1) items'
     end
   in
-  let items = expand_levels 0 [ Todo ([], []) ] in
-  let rec split acc = function
-    | [] -> (List.rev acc, None)
-    | Violation (msg, tr) :: _ -> (List.rev acc, Some (msg, tr))
-    | Todo (p, s) :: rest -> split ((p, s) :: acc) rest
+  let items = grow 0 [ Task ([], []) ] in
+  (* ---- Phase 2: the pool. ----
+     Tasks carry their skeleton context: [done_before.(j)] counts the
+     interior-node runs the sequential search performs before reaching
+     task [j]'s subtree.  Budget is enforced by a leased lower bound
+     instead of a shared counter: each worker publishes its own progress
+     (a single-writer atomic slot, refreshed every 256 runs and at the
+     end) and stops once
+       own visits + done_before + earlier tasks' published progress
+     reaches [max_runs] — at that point the sequential search provably
+     truncates at or before the worker's current node, whatever the
+     still-running earlier tasks turn out to do. *)
+  let tasks =
+    let acc = ref [] and dones = ref 0 in
+    List.iter
+      (function
+        | Done -> incr dones
+        | Task (p, s) -> acc := (p, s, !dones) :: !acc
+        | Viol _ -> ())
+      items;
+    Array.of_list (List.rev !acc)
   in
-  let todos, frontier_violation = split [] items in
+  let progress = Array.map (fun _ -> Atomic.make 0) tasks in
+  let lower_bound j =
+    let _, _, done_before = tasks.(j) in
+    let lb = ref done_before in
+    for j' = 0 to j - 1 do
+      lb := !lb + Atomic.get progress.(j')
+    done;
+    !lb
+  in
+  let run_task ~index:j ~stop (prefix, sleep, _done_before) =
+    let u = ref 0 in
+    let lb = ref (lower_bound j) in
+    let take_run () =
+      if !u + !lb >= max_runs then lb := lower_bound j;
+      if !u + !lb >= max_runs then false
+      else begin
+        incr u;
+        if !u land 255 = 0 then begin
+          Atomic.set progress.(j) !u;
+          lb := lower_bound j
+        end;
+        true
+      end
+    in
+    let r = subtree_ckpt d ~snap_gap ~take_run ~stop (prefix, sleep) in
+    Atomic.set progress.(j) !u;
+    match r with
+    | `Done -> { t_runs = !u; t_viol = None; t_cut = false }
+    | `Cut -> { t_runs = !u; t_viol = None; t_cut = true }
+    | `Viol (msg, tr) -> { t_runs = !u; t_viol = Some (msg, tr); t_cut = false }
+  in
   let results =
-    Pool.map ?domains
-      ~hit:(fun v -> v <> None)
-      ~tasks:(Array.of_list todos)
-      (fun ~index:_ ~stop task -> subtree d ~take_run ~stop task)
+    Pool.map ?domains ~hit:(fun r -> r.t_cut || r.t_viol <> None) ~tasks run_task
   in
-  (* Deterministic merge: the lowest-indexed subtree violation — the pool
-     guarantees every earlier subtree ran to completion — and only then
-     the frontier's own violation (every task precedes it in DFS order). *)
-  let rec first i =
-    if i >= Array.length results then None
-    else match results.(i) with Some (Some v) -> Some v | Some None | None -> first (i + 1)
+  (* ---- Phase 3: settlement. ----
+     Walk the skeleton in DFS preorder, charging each item its exact
+     sequential cost, and stop exactly where the sequential search stops:
+     at the budget, or at the first violation it can afford.  The pool's
+     order-respecting cancellation guarantees every task before the
+     decisive one ran to completion, so its [t_runs] is the exact subtree
+     size. *)
+  let truncated_outcome = { runs = max_runs; exhausted = false; violation = None } in
+  let rec settle acc ti = function
+    | [] -> { runs = acc; exhausted = true; violation = None }
+    | _ :: _ when acc >= max_runs -> truncated_outcome
+    | Done :: rest -> settle (acc + 1) ti rest
+    | Viol (msg, tr) :: _ -> { runs = acc + 1; exhausted = false; violation = Some (msg, tr) }
+    | Task _ :: rest -> (
+        match results.(ti) with
+        | None ->
+            (* Unreachable: a skipped task sits behind a decisive earlier
+               one, and the walk stops there. *)
+            failwith "Explore.explore_parallel: settlement reached a cancelled task"
+        | Some r -> (
+            match r.t_viol with
+            | Some v ->
+                if acc + r.t_runs <= max_runs then
+                  { runs = acc + r.t_runs; exhausted = false; violation = Some v }
+                else truncated_outcome
+            | None ->
+                if r.t_cut then truncated_outcome (* cut implies acc + t_runs >= max_runs *)
+                else if acc + r.t_runs > max_runs then truncated_outcome
+                else settle (acc + r.t_runs) (ti + 1) rest))
   in
-  let violation = match first 0 with Some v -> Some v | None -> frontier_violation in
-  finish d ~shrink_violations ~runs:(Atomic.get runs) ~truncated:(Atomic.get truncated)
-    violation
+  let outcome = settle 0 0 items in
+  match outcome.violation with
+  | Some (msg, tr) when shrink_violations ->
+      { outcome with violation = Some (msg, shrink ~reproduces:(faithful_reproduces d) tr) }
+  | Some _ | None -> outcome

@@ -77,6 +77,7 @@ val explore_parallel :
   ?por:bool ->
   ?domains:int ->
   ?split_depth:int ->
+  ?snap_gap:int ->
   n:int ->
   model:Memory.model ->
   crash:(unit -> Crash.t) ->
@@ -87,22 +88,33 @@ val explore_parallel :
   outcome
 (** Same search as {!explore}, sharded across [domains] OCaml domains
     (default {!Pool.default_domains}).  The schedule tree is split into
-    disjoint decision-vector prefixes at [split_depth] frontier levels
-    (default 1) and the subtrees are distributed over a {!Pool} work
-    queue; an [Atomic]-based flag cancels later subtrees once an earlier
-    one holds the answer.
+    disjoint decision-vector subtrees by expanding the frontier until
+    there are enough tasks to keep every domain fed through load
+    imbalance (at least [max 16 (8 * domains)], and at least
+    [split_depth] levels — default 1 — for compatibility); the subtrees
+    are distributed over a work-stealing {!Pool}, and each one is
+    searched with engine checkpointing: every [snap_gap]-th decision
+    position (default 4) captures an {!Engine.Snap.t}, and each node's
+    run resumes from the deepest checkpoint on its path instead of
+    replaying the whole shared prefix from the root — the prefix-replay
+    elimination that makes the parallel search cheaper per run than the
+    sequential one.
 
-    Determinism: when no truncation occurs, the reported [violation] (and
-    its shrunk vector) and the [exhausted] flag are identical to the
-    sequential {!explore}'s, independent of domain scheduling; on a clean
-    exhaustive search [runs] is identical too.  This holds with [por] as
-    well: sleep sets are threaded through the frontier split, the frontier
-    expansion replicates the sequential sleep evolution exactly, and
-    pruning decisions depend only on the (deterministic) footprints of
-    each run — so the pruned run set is the same for every domain count.  When a violation is found,
-    [runs] may exceed the sequential count (other domains keep finishing
-    their current work — "runs modulo scheduling").  Under [max_runs]
-    truncation, which schedules fit the budget is scheduling-dependent.
+    Determinism: the reported outcome — [runs], [exhausted], and the
+    [violation] with its shrunk vector — is byte-identical to the
+    sequential {!explore}'s for every domain count, with and without
+    [por], including under [max_runs] truncation and when a violation is
+    found.  Tasks report their exact per-subtree visit counts and first
+    violations; a final sequential settlement walk over the DFS-preorder
+    skeleton recomputes exactly where the sequential search would stop.
+    Budgets are enforced by leased lower bounds (each worker periodically
+    publishes its progress and stops once the provable total reaches
+    [max_runs]) rather than a contended shared counter, so a worker may
+    privately visit more nodes than the sequential search — but never
+    fewer within the settled region — without affecting the outcome.
+    With [por], sleep sets are threaded through the frontier split and
+    the expansion replicates the sequential sleep evolution exactly, so
+    the pruned run set is the same for every domain count.
 
     [crash], [setup], [body] and [check] are called concurrently from
     multiple domains and must be domain-safe: no shared mutable state

@@ -1,13 +1,20 @@
 (** Domain-sharded work pool with a deterministic, order-respecting merge.
 
     Built for the parallel explorer but generic: an array of independent
-    tasks is claimed in index order from a shared atomic cursor by one
-    worker per domain, and results land in an array indexed like the
-    input.  The caller's [f] must be domain-safe (operate only on its task
-    and on thread-safe shared state such as [Atomic.t] counters). *)
+    tasks is dealt into per-domain index segments, claimed in index order
+    by each segment's owner, with idle workers stealing the lowest-indexed
+    remaining work from the fullest other segment — so one slow subtree
+    does not serialize the pool behind a single shared claim counter.
+    Results land in an array indexed like the input.  The caller's [f]
+    must be domain-safe (operate only on its task and on thread-safe
+    shared state such as [Atomic.t] counters). *)
 
 val default_domains : unit -> int
-(** [Domain.recommended_domain_count () - 1], clamped to [\[1, 8\]]. *)
+(** [Domain.recommended_domain_count () - 1], at least 1 — the runtime's
+    own report, with one core left for the rest of the system and no
+    fixed upper clamp, so small CI runners are never oversubscribed.  The
+    [RME_DOMAINS] environment variable (a positive integer) overrides the
+    computed value. *)
 
 val map :
   ?domains:int ->
@@ -17,7 +24,11 @@ val map :
   'b option array
 (** [map ~tasks f] runs [f] over every task across [domains] workers
     (default {!default_domains}; the calling domain is one of them) and
-    returns the results in task order.
+    returns the results in task order.  The worker count is clamped to
+    [Domain.recommended_domain_count ()]: oversubscribing OCaml domains
+    only adds stop-the-world GC barriers, and the result is deterministic
+    regardless, so a request beyond the hardware is satisfied with the
+    hardware's parallelism.
 
     [hit] drives early cancellation: once [hit result] is true for task
     [i], tasks with index [> i] are skipped (their slot stays [None]) and

@@ -54,6 +54,33 @@ type parked = { pk : (unit, status) Effect.Deep.continuation; pcell : Cell.t; pc
 
 type pstate = Start | Ready of status | Parked of parked | Woken of parked | Halted
 
+(* Run journal, the raw material of checkpoints.  One-shot effect
+   continuations cannot be copied, so a checkpoint cannot snapshot the
+   fibers themselves; instead the engine logs, in global resolution order,
+   every event that advanced a fiber — a body dispatch, the answer fed to a
+   suspended instruction, or the crash that discontinued it.  Replaying the
+   log against fresh fibers ("fast-forward") rebuilds every continuation at
+   the checkpointed suspension point without touching the store, the
+   scheduler or the crash plan.  [jops] keeps the {!Crash.op_info} stream
+   so a fresh (stateful) crash plan can be wound forward to the same
+   internal state. *)
+(* Journal entries are packed into an unboxed int [Vec.t], two slots per
+   entry — header, then answer value — so live recording allocates nothing
+   per step (amortized array growth aside) and fast-forward scans a flat
+   int array.  Header layout: the low 3 bits hold the entry tag, the rest
+   the pid. *)
+type journal = { jents : int Vec.t; jops : Crash.op_info Vec.t }
+
+let jt_dispatch = 0 (* pid's body (re)started: ran to its first suspension *)
+
+let jt_crash = 1 (* pid's pending instruction discontinued by a crash *)
+
+let jt_ans_unit = 2 (* pid's pending instruction resolved; answer in slot 2 *)
+
+let jt_ans_int = 3
+
+let jt_ans_bool = 4
+
 type t = {
   mem : Memory.t;
   n : int;
@@ -67,6 +94,8 @@ type t = {
   on_op : Crash.op_info -> unit;
   footprints : Footprint.t Vec.t option;
   footprint_crashy : int -> bool;
+  journal : journal option;  (* when checkpointing: the resolved-effect log *)
+  log_ops : bool;  (* record [jops] (skipped for the stateless Crash.none) *)
   body : pid:int -> unit;
   states : pstate array;
   mutable step : int;
@@ -111,6 +140,93 @@ let handler : (unit, status) Effect.Deep.handler =
             Some (fun (k : (c, status) Effect.Deep.continuation) -> Suspended (view, k))
         | _ -> None);
   }
+
+let jpush eng header value =
+  match eng.journal with
+  | Some j ->
+      Vec.push j.jents header;
+      Vec.push j.jents value
+  | None -> ()
+
+(* The answer a resolved instruction fed its fiber, packed for the journal.
+   GADT refinement is per-branch, so same-typed constructors cannot share
+   an or-pattern. *)
+let ans_tag : type a. a Api.view -> int =
+ fun view ->
+  match view with
+  | Api.V_read _ -> jt_ans_int
+  | Api.V_fas _ -> jt_ans_int
+  | Api.V_fas_open_unsafe _ -> jt_ans_int
+  | Api.V_faa _ -> jt_ans_int
+  | Api.V_get_done -> jt_ans_int
+  | Api.V_cas _ -> jt_ans_bool
+  | Api.V_write _ -> jt_ans_unit
+  | Api.V_write_close_unsafe _ -> jt_ans_unit
+  | Api.V_fas_persist _ -> jt_ans_unit
+  | Api.V_note _ -> jt_ans_unit
+  | Api.V_yield -> jt_ans_unit
+  | Api.V_spin _ -> jt_ans_unit
+
+let ans_value : type a. a Api.view -> a -> int =
+ fun view res ->
+  match view with
+  | Api.V_read _ -> res
+  | Api.V_fas _ -> res
+  | Api.V_fas_open_unsafe _ -> res
+  | Api.V_faa _ -> res
+  | Api.V_get_done -> res
+  | Api.V_cas _ -> Bool.to_int res
+  | Api.V_write _ -> 0
+  | Api.V_write_close_unsafe _ -> 0
+  | Api.V_fas_persist _ -> 0
+  | Api.V_note _ -> 0
+  | Api.V_yield -> 0
+  | Api.V_spin _ -> 0
+
+let diverged what = failwith ("Engine: journal replay divergence (" ^ what ^ ")")
+
+let continue_ans : type a. a Api.view -> (a, status) Effect.Deep.continuation -> int -> int -> status
+    =
+ fun view k tag value ->
+  (* No helper closures here: this runs once per journal entry and closure
+     allocation on that path is measurable. *)
+  match view with
+  | Api.V_read _ ->
+      if tag <> jt_ans_int then diverged "expected an int answer";
+      Effect.Deep.continue k value
+  | Api.V_fas _ ->
+      if tag <> jt_ans_int then diverged "expected an int answer";
+      Effect.Deep.continue k value
+  | Api.V_fas_open_unsafe _ ->
+      if tag <> jt_ans_int then diverged "expected an int answer";
+      Effect.Deep.continue k value
+  | Api.V_faa _ ->
+      if tag <> jt_ans_int then diverged "expected an int answer";
+      Effect.Deep.continue k value
+  | Api.V_get_done ->
+      if tag <> jt_ans_int then diverged "expected an int answer";
+      Effect.Deep.continue k value
+  | Api.V_cas _ ->
+      if tag <> jt_ans_bool then diverged "expected a bool answer";
+      Effect.Deep.continue k (value <> 0)
+  | Api.V_write _ ->
+      if tag <> jt_ans_unit then diverged "expected a unit answer";
+      Effect.Deep.continue k ()
+  | Api.V_write_close_unsafe _ ->
+      if tag <> jt_ans_unit then diverged "expected a unit answer";
+      Effect.Deep.continue k ()
+  | Api.V_fas_persist _ ->
+      if tag <> jt_ans_unit then diverged "expected a unit answer";
+      Effect.Deep.continue k ()
+  | Api.V_note _ ->
+      if tag <> jt_ans_unit then diverged "expected a unit answer";
+      Effect.Deep.continue k ()
+  | Api.V_yield ->
+      if tag <> jt_ans_unit then diverged "expected a unit answer";
+      Effect.Deep.continue k ()
+  | Api.V_spin _ ->
+      if tag <> jt_ans_unit then diverged "expected a unit answer";
+      Effect.Deep.continue k ()
 
 let kind_code : Api.kind -> int = function
   | Api.Read -> 0
@@ -288,7 +404,11 @@ let do_crash eng pid (kont : (unit -> unit) option) =
   close_passage eng pid ~completed:false;
   Memory.forget eng.mem ~pid;
   eng.unsafe_open.(pid) <- [];
-  (match kont with Some discontinue -> discontinue () | None -> ());
+  (match kont with
+  | Some discontinue ->
+      jpush eng (jt_crash lor (pid lsl 3)) 0;
+      discontinue ()
+  | None -> () (* no live fiber — nothing for a replay to discontinue *));
   eng.states.(pid) <- Start;
   eng.on_crash ~pid ~step:eng.step
 
@@ -327,6 +447,7 @@ let op_info : type a. t -> int -> a Api.view -> Crash.op_info =
   in
   eng.op_index.(pid) <- eng.op_index.(pid) + 1;
   eng.on_op info;
+  (match eng.journal with Some j when eng.log_ops -> Vec.push j.jops info | Some _ | None -> ());
   info
 
 let park eng pid (p : parked) =
@@ -348,7 +469,10 @@ let exec eng pid (st : status) =
               charge ~kind:Api.Spin eng pid rmr;
               record_op eng pid view;
               if decision = Crash After then do_crash eng pid (Some (discontinue_of k))
-              else if Api.cond_holds cond v then absorb eng pid (Effect.Deep.continue k ())
+              else if Api.cond_holds cond v then begin
+                jpush eng (jt_ans_unit lor (pid lsl 3)) 0;
+                absorb eng pid (Effect.Deep.continue k ())
+              end
               else park eng pid { pk = k; pcell = cell; pcond = cond }
           | _ ->
               let res, rmr = apply_view eng pid view in
@@ -358,18 +482,25 @@ let exec eng pid (st : status) =
               | Some c when mutates (Api.kind_of_view view) -> wake_parked eng c
               | Some _ | None -> ());
               if decision = Crash After then do_crash eng pid (Some (discontinue_of k))
-              else absorb eng pid (Effect.Deep.continue k res)))
+              else begin
+                jpush eng (ans_tag view lor (pid lsl 3)) (ans_value view res);
+                absorb eng pid (Effect.Deep.continue k res)
+              end))
 
 let step_process eng pid =
   match eng.states.(pid) with
   | Start ->
       let body = eng.body in
+      jpush eng (jt_dispatch lor (pid lsl 3)) 0;
       absorb eng pid (Effect.Deep.match_with (fun () -> body ~pid) () handler)
   | Ready st -> exec eng pid st
   | Woken p ->
       let v, rmr = Memory.read eng.mem ~pid p.pcell in
       charge ~kind:Api.Spin eng pid rmr;
-      if Api.cond_holds p.pcond v then absorb eng pid (Effect.Deep.continue p.pk ())
+      if Api.cond_holds p.pcond v then begin
+        jpush eng (jt_ans_unit lor (pid lsl 3)) 0;
+        absorb eng pid (Effect.Deep.continue p.pk ())
+      end
       else park eng pid p
   | Parked _ | Halted -> assert false
 
@@ -511,6 +642,8 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_w
       on_op;
       footprints;
       footprint_crashy;
+      journal = None;
+      log_ops = false;
       body = (fun ~pid -> body shared ~pid);
       states = Array.make n Start;
       step = 0;
@@ -569,6 +702,397 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_w
   in
   loop ();
   finish eng
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / resume                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Control-state tag of a process at capture time.  The continuations
+   themselves are rebuilt by fast-forward; the tag settles the ambiguity
+   the journal cannot (a pending spin instruction may be Ready, Parked or
+   Woken depending on engine bookkeeping the fibers never see). *)
+type ptag = T_start | T_ready | T_parked | T_woken | T_halted
+
+let tag_of_state = function
+  | Start -> T_start
+  | Ready _ -> T_ready
+  | Parked _ -> T_parked
+  | Woken _ -> T_woken
+  | Halted -> T_halted
+
+module Snap = struct
+  (* A checkpoint standing immediately before decision position [s_pos]:
+     taken after that iteration's asynchronous crashes fired and its
+     footprints were pushed, before the scheduler picked.  It references
+     the capturing run's append-only buffers (journal, degree record,
+     footprints, events) plus explicit lengths, and owns copies of the
+     store image and every engine counter.  The buffers are only ever
+     appended to, so a snapshot stays valid however far the capturing run
+     — or runs resumed from it — later extends its own copies. *)
+  type t = {
+    s_pos : int;
+    s_step : int;
+    s_jlen : int;
+    s_olen : int;
+    s_fplen : int;
+    s_evlen : int;
+    s_jents : int Vec.t;
+    s_jops : Crash.op_info Vec.t;
+    s_degrees : int Vec.t;
+    s_fps : Footprint.t Vec.t option;
+    s_events : Event.t Vec.t;
+    s_mem : Memory.image;
+    s_tags : ptag array;
+    s_op_index : int array;
+    s_completed : int array;
+    s_crashes : int array;
+    s_last_progress : int array;
+    s_last_sched : int array;
+    s_unsafe_open : int list array;
+    s_holding : int list array;
+    s_in_passage : bool array;
+    s_in_app_cs : bool array;
+    s_passage_rmr : int array;
+    s_passage_super : int array;
+    s_passage_start : int array;
+    s_passages : passage array array;
+    s_level_max : int array;
+    s_occupancy : int array;
+    s_occupancy_max : int array;
+    s_unsafe_crashes : int array;
+    s_rmr_by_kind : int array;
+    s_total_rmr : int;
+    s_global_cs : int;
+    s_global_cs_max : int;
+  }
+
+  let pos t = t.s_pos
+end
+
+let capture eng ~pos ~(journal : journal) ~(degrees : int Vec.t) : Snap.t =
+  {
+    Snap.s_pos = pos;
+    s_step = eng.step;
+    s_jlen = Vec.length journal.jents;
+    s_olen = Vec.length journal.jops;
+    s_fplen = (match eng.footprints with Some v -> Vec.length v | None -> 0);
+    s_evlen = Vec.length eng.events;
+    s_jents = journal.jents;
+    s_jops = journal.jops;
+    s_degrees = degrees;
+    s_fps = eng.footprints;
+    s_events = eng.events;
+    s_mem = Memory.snapshot eng.mem;
+    s_tags = Array.map tag_of_state eng.states;
+    s_op_index = Array.copy eng.op_index;
+    s_completed = Array.copy eng.completed;
+    s_crashes = Array.copy eng.crashes;
+    s_last_progress = Array.copy eng.last_progress;
+    s_last_sched = Array.copy eng.last_sched;
+    s_unsafe_open = Array.copy eng.unsafe_open;
+    s_holding = Array.copy eng.holding;
+    s_in_passage = Array.copy eng.in_passage;
+    s_in_app_cs = Array.copy eng.in_app_cs;
+    s_passage_rmr = Array.copy eng.passage_rmr;
+    s_passage_super = Array.copy eng.passage_super;
+    s_passage_start = Array.copy eng.passage_start;
+    s_passages = Array.map Vec.to_array eng.passages;
+    s_level_max = Array.copy eng.level_max;
+    s_occupancy = Array.copy eng.occupancy;
+    s_occupancy_max = Array.copy eng.occupancy_max;
+    s_unsafe_crashes = Array.copy eng.unsafe_crashes;
+    s_rmr_by_kind = Array.copy eng.rmr_by_kind;
+    s_total_rmr = eng.total_rmr;
+    s_global_cs = eng.global_cs;
+    s_global_cs_max = eng.global_cs_max;
+  }
+
+(* Rebuild every fiber to its checkpointed suspension point by replaying
+   the journal prefix: dispatch bodies and feed each suspended instruction
+   the answer (or crash) it got in the recorded run, in the recorded
+   global order.  The global order matters: body segments run for real
+   between suspensions — pure computation, but also direct [Memory.alloc]
+   calls of lazily-built lock structure and other deterministic OCaml-side
+   mutations of [shared] — and must interleave exactly as recorded for
+   cell ids and registries to come out identical.  No instruction touches
+   the store and nothing is charged or scheduled here; the store and every
+   counter are restored from the snapshot afterwards. *)
+let fast_forward eng (journal : journal) jlen (tags : ptag array) =
+  (* [Stopped] doubles as the "nothing pending" sentinel so the per-entry
+     bookkeeping allocates nothing; [stopped] tells a genuine halt apart
+     from a never-dispatched or crashed incarnation where it matters. *)
+  let pending : status array = Array.make eng.n Stopped in
+  let stopped = Array.make eng.n false in
+  let body = eng.body in
+  let settle pid st =
+    match st with
+    | Stopped ->
+        pending.(pid) <- Stopped;
+        stopped.(pid) <- true
+    | Suspended _ ->
+        pending.(pid) <- st;
+        stopped.(pid) <- false
+  in
+  let i = ref 0 in
+  while !i < jlen do
+    (* [jlen] was validated against the journal length by the caller and
+       entries are two slots, so the reads are in bounds. *)
+    let header = Vec.unsafe_get journal.jents !i in
+    let value = Vec.unsafe_get journal.jents (!i + 1) in
+    i := !i + 2;
+    let pid = header lsr 3 in
+    let tag = header land 7 in
+    if tag = jt_dispatch then settle pid (Effect.Deep.match_with (fun () -> body ~pid) () handler)
+    else if tag = jt_crash then begin
+      match pending.(pid) with
+      | Suspended (_, k) ->
+          discontinue_of k ();
+          pending.(pid) <- Stopped;
+          stopped.(pid) <- false
+      | Stopped -> diverged "crash with no pending instruction"
+    end
+    else begin
+      match pending.(pid) with
+      | Suspended (view, k) -> settle pid (continue_ans view k tag value)
+      | Stopped -> diverged "answer with no pending instruction"
+    end
+  done;
+  for pid = 0 to eng.n - 1 do
+    match tags.(pid) with
+    | T_start ->
+        (* Never dispatched, or its last incarnation ended in a crash. *)
+        eng.states.(pid) <- Start
+    | T_halted ->
+        if not stopped.(pid) then diverged "halted process still pending";
+        eng.states.(pid) <- Halted
+    | (T_ready | T_parked | T_woken) as tag -> (
+        match pending.(pid) with
+        | Suspended (view, k) as st -> (
+            match tag with
+            | T_ready -> eng.states.(pid) <- Ready st
+            | T_parked | T_woken -> (
+                match (view, k) with
+                | Api.V_spin (cell, cond), k ->
+                    let p = { pk = k; pcell = cell; pcond = cond } in
+                    if tag = T_parked then begin
+                      eng.states.(pid) <- Parked p;
+                      Hashtbl.replace eng.parked_cells cell.Cell.id ()
+                    end
+                    else eng.states.(pid) <- Woken p
+                | _ -> diverged "parked process not pending on a spin")
+            | _ -> assert false)
+        | Stopped -> diverged "live process with no pending instruction")
+  done
+
+let restore_counters eng (s : Snap.t) =
+  let n = eng.n in
+  Array.blit s.Snap.s_op_index 0 eng.op_index 0 n;
+  Array.blit s.Snap.s_completed 0 eng.completed 0 n;
+  Array.blit s.Snap.s_crashes 0 eng.crashes 0 n;
+  Array.blit s.Snap.s_last_progress 0 eng.last_progress 0 n;
+  Array.blit s.Snap.s_last_sched 0 eng.last_sched 0 n;
+  Array.blit s.Snap.s_unsafe_open 0 eng.unsafe_open 0 n;
+  Array.blit s.Snap.s_holding 0 eng.holding 0 n;
+  Array.blit s.Snap.s_in_passage 0 eng.in_passage 0 n;
+  Array.blit s.Snap.s_in_app_cs 0 eng.in_app_cs 0 n;
+  Array.blit s.Snap.s_passage_rmr 0 eng.passage_rmr 0 n;
+  Array.blit s.Snap.s_passage_super 0 eng.passage_super 0 n;
+  Array.blit s.Snap.s_passage_start 0 eng.passage_start 0 n;
+  Array.blit s.Snap.s_level_max 0 eng.level_max 0 n;
+  for pid = 0 to n - 1 do
+    Vec.clear eng.passages.(pid);
+    Array.iter (Vec.push eng.passages.(pid)) s.Snap.s_passages.(pid)
+  done;
+  let nlocks = Array.length s.Snap.s_occupancy in
+  Array.blit s.Snap.s_occupancy 0 eng.occupancy 0 nlocks;
+  Array.blit s.Snap.s_occupancy_max 0 eng.occupancy_max 0 nlocks;
+  Array.blit s.Snap.s_unsafe_crashes 0 eng.unsafe_crashes 0 nlocks;
+  Array.blit s.Snap.s_rmr_by_kind 0 eng.rmr_by_kind 0 (Array.length s.Snap.s_rmr_by_kind);
+  eng.total_rmr <- s.Snap.s_total_rmr;
+  eng.global_cs <- s.Snap.s_global_cs;
+  eng.global_cs_max <- s.Snap.s_global_cs_max;
+  eng.step <- s.Snap.s_step
+
+(* Wind a fresh crash plan forward to the checkpoint: replay the recorded
+   [op_info] stream interleaved with the async consultations, in the order
+   of the recorded run (async at step s fires before the instruction of
+   step s; the capture point sits after async of [s_step] and before its
+   instruction).  Decisions are discarded — their effects are baked into
+   the snapshot — but the calls rebuild the plan's internal state.  The
+   stateless [Crash.none] plan skips the whole walk (and the engine skips
+   recording [jops] for it). *)
+let replay_plan plan (s : Snap.t) =
+  if plan != Crash.none then begin
+    let oi = ref 0 in
+    for st = 0 to s.Snap.s_step do
+      ignore (Crash.async plan ~step:st);
+      while
+        !oi < s.Snap.s_olen && (Vec.get s.Snap.s_jops !oi).Crash.step = st
+      do
+        ignore (Crash.on_op plan (Vec.get s.Snap.s_jops !oi));
+        incr oi
+      done
+    done
+  end
+
+type rrun = {
+  rr_result : result;
+  rr_degrees : int array;
+  rr_footprints : Footprint.t array;
+}
+
+let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(record = false)
+    ?(max_steps = 5_000_000) ?stall_window ?(por = false) ?(footprint_crashy = fun _ -> false)
+    ~decisions ~n ~model ~crash ~setup ~body () =
+  let stall_window =
+    match stall_window with Some w -> w | None -> max 1_000 (max_steps / 8)
+  in
+  if por && n > 0xffff then
+    invalid_arg "Engine.run_resumable: footprint recording supports at most 65536 processes";
+  let mem = Memory.create model ~n in
+  let ctx = { Ctx.mem; lock_names = Vec.create () } in
+  let shared = setup ctx in
+  let nlocks = Vec.length ctx.lock_names in
+  let plan = crash () in
+  let journal = { jents = Vec.create (); jops = Vec.create () } in
+  let degrees = Vec.create () in
+  let footprints = if por then Some (Vec.create ()) else None in
+  let eng =
+    {
+      mem;
+      n;
+      sched = Sched.round_robin () (* never consulted: the loop below picks *);
+      crash = plan;
+      record;
+      trace_ops = false;
+      max_steps;
+      stall_window;
+      on_crash = (fun ~pid:_ ~step:_ -> ());
+      on_op = (fun _ -> ());
+      footprints;
+      footprint_crashy;
+      journal = Some journal;
+      log_ops = plan != Crash.none;
+      body = (fun ~pid -> body shared ~pid);
+      states = Array.make n Start;
+      step = 0;
+      op_index = Array.make n 0;
+      completed = Array.make n 0;
+      crashes = Array.make n 0;
+      last_progress = Array.make n (-1);
+      last_sched = Array.make n (-1);
+      unsafe_open = Array.make n [];
+      holding = Array.make n [];
+      in_passage = Array.make n false;
+      in_app_cs = Array.make n false;
+      passage_rmr = Array.make n 0;
+      passage_super = Array.make n 0;
+      passage_start = Array.make n 0;
+      passages = Array.init n (fun _ -> Vec.create ());
+      level_max = Array.make n 0;
+      occupancy = Array.make nlocks 0;
+      occupancy_max = Array.make nlocks 0;
+      unsafe_crashes = Array.make nlocks 0;
+      lock_names = Vec.to_array ctx.lock_names;
+      parked_cells = Hashtbl.create 64;
+      events = Vec.create ();
+      rmr_by_kind = Array.make 8 0;
+      total_rmr = 0;
+      global_cs = 0;
+      global_cs_max = 0;
+      deadlocked = false;
+      timed_out = false;
+    }
+  in
+  let npos = Array.length decisions in
+  let start_pos, resumed =
+    match from with
+    | None -> (0, false)
+    | Some (s : Snap.t) ->
+        if Array.length s.Snap.s_tags <> n then
+          invalid_arg "Engine.run_resumable: snapshot process count mismatch";
+        (match (footprints, s.Snap.s_fps) with
+        | Some _, None ->
+            invalid_arg "Engine.run_resumable: snapshot lacks the footprint prefix POR needs"
+        | _ -> ());
+        (* Seed this run's buffers with the checkpointed prefixes — fresh
+           copies, so this run's appends never disturb the snapshot (or
+           any other snapshot sharing the source buffers). *)
+        Vec.blit_prefix s.Snap.s_jents s.Snap.s_jlen journal.jents;
+        if eng.log_ops then Vec.blit_prefix s.Snap.s_jops s.Snap.s_olen journal.jops;
+        Vec.blit_prefix s.Snap.s_degrees s.Snap.s_pos degrees;
+        (match (footprints, s.Snap.s_fps) with
+        | Some dst, Some src -> Vec.blit_prefix src s.Snap.s_fplen dst
+        | _ -> ());
+        if eng.record then Vec.blit_prefix s.Snap.s_events s.Snap.s_evlen eng.events;
+        fast_forward eng journal s.Snap.s_jlen s.Snap.s_tags;
+        Memory.restore mem s.Snap.s_mem;
+        restore_counters eng s;
+        replay_plan plan s;
+        (s.Snap.s_pos, true)
+  in
+  let pos = ref start_pos in
+  (* Capture only at positions >= the explicit decision vector's length:
+     earlier positions belong to ancestor prefixes whose snapshots already
+     exist upstream.  The first eligible position is always captured. *)
+  let next_snap = ref (if snap_gap > 0 then npos else max_int) in
+  (* A snapshot is taken after an iteration's async crashes and footprint
+     pushes; resuming re-enters the loop at the pick of the same
+     iteration, so the first resumed iteration skips both. *)
+  let first = ref resumed in
+  let rec loop () =
+    let skip = !first in
+    first := false;
+    if not skip then List.iter (crash_now eng) (Crash.async plan ~step:eng.step);
+    let ready = runnable eng in
+    if Array.length ready = 0 then begin
+      let any_parked =
+        Array.exists
+          (function Parked _ -> true | Start | Ready _ | Woken _ | Halted -> false)
+          eng.states
+      in
+      if any_parked then eng.deadlocked <- true
+    end
+    else if eng.step >= eng.max_steps then eng.timed_out <- true
+    else begin
+      (if not skip then
+         match eng.footprints with
+         | None -> ()
+         | Some buf -> Array.iter (fun p -> Vec.push buf (pending_footprint eng p)) ready);
+      (* Capture only at branching positions: a child schedule can only
+         deviate where more than one pid is runnable, so snapshots at
+         degree-1 positions would never be resumed from.  [snap_gap] is
+         the minimum spacing between captures; the stretch from the last
+         snapshot to the deviation position is replayed live on resume. *)
+      if !pos >= !next_snap && Array.length ready > 1 then begin
+        snap (capture eng ~pos:!pos ~journal ~degrees);
+        next_snap := !pos + snap_gap
+      end;
+      (* Trace pick, inlined: [runnable] builds the ready set in ascending
+         pid order — the order {!Sched.trace} sorts into — so indexing it
+         directly replays the same schedules the sequential explorer's
+         trace scheduler does. *)
+      let degree = Array.length ready in
+      Vec.push degrees degree;
+      let choice = if !pos < npos then decisions.(!pos) else 0 in
+      let choice =
+        if choice >= 0 && choice < degree then choice
+        else ((choice mod degree) + degree) mod degree
+      in
+      let pid = ready.(choice) in
+      incr pos;
+      eng.last_sched.(pid) <- eng.step;
+      step_process eng pid;
+      eng.step <- eng.step + 1;
+      loop ()
+    end
+  in
+  loop ();
+  {
+    rr_result = finish eng;
+    rr_degrees = Vec.to_array degrees;
+    rr_footprints = (match footprints with Some v -> Vec.to_array v | None -> [||]);
+  }
 
 let all_passages res = Array.to_list res.procs |> List.concat_map (fun (p : proc_stats) -> p.passages)
 

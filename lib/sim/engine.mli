@@ -145,6 +145,93 @@ val run :
     [sched]s and [crash] plans fresh per run, and keep shared mutable
     state out of the [setup]/[body]/[on_crash] closures. *)
 
+(** {1 Checkpoint / resume}
+
+    Support for the parallel explorer's prefix elimination: a run started
+    with checkpointing enabled can hand out {!Snap.t} snapshots at chosen
+    decision positions, and a later run can {e resume} from one instead of
+    replaying the whole decision-vector prefix from the root.
+
+    OCaml's one-shot effect continuations cannot be copied, so a snapshot
+    does not capture the fibers.  It captures everything else — the store
+    image, every statistics counter, the control-state tag of each process
+    — plus a {e journal}: the log, in global order, of every event that
+    advanced a fiber (body dispatch, instruction answer, crash
+    discontinuation).  Resuming re-executes [setup], fast-forwards fresh
+    fibers by feeding them the journaled answers (cheap: no store access,
+    no scheduling, no crash consultation, no accounting), restores the
+    snapshot on top, winds a fresh crash plan forward over the recorded
+    op stream, and continues stepping normally from the checkpointed
+    decision position. *)
+
+module Snap : sig
+  type t
+  (** A checkpoint standing immediately before one decision position of a
+      recorded run.  Self-contained and immutable: it stays valid after
+      the capturing run finishes and across any number of resumes. *)
+
+  val pos : t -> int
+  (** The decision position the snapshot stands before. *)
+end
+
+type rrun = {
+  rr_result : result;
+  rr_degrees : int array;
+      (** branching degree observed at every decision position, prefix
+          included *)
+  rr_footprints : Footprint.t array;
+      (** flat per-choice footprints in decision order, prefix included;
+          [[||]] unless [por] *)
+}
+
+val run_resumable :
+  ?from:Snap.t ->
+  ?snap_gap:int ->
+  ?snap:(Snap.t -> unit) ->
+  ?record:bool ->
+  ?max_steps:int ->
+  ?stall_window:int ->
+  ?por:bool ->
+  ?footprint_crashy:(int -> bool) ->
+  decisions:int array ->
+  n:int ->
+  model:Memory.model ->
+  crash:(unit -> Crash.t) ->
+  setup:(Ctx.t -> 'a) ->
+  body:('a -> pid:int -> unit) ->
+  unit ->
+  rrun
+(** [run_resumable ~decisions ...] replays the schedule identified by
+    [decisions] exactly as {!run} under {!Sched.trace} would (position [i]
+    picks the [decisions.(i)]-th smallest runnable pid, default 0 past the
+    end), with two additions:
+
+    - [from] resumes from a snapshot instead of starting at the root: the
+      positions before [Snap.pos from] are reconstructed by fast-forward
+      and restore, the positions from [Snap.pos from] on are executed
+      normally against [decisions].  [decisions] must agree with the
+      snapshotted run on every position before [Snap.pos from], and
+      [record], [por], [max_steps], [crash] and the lock construction must
+      match the capturing run's — resumption reproduces, byte for byte,
+      the run a full replay of [decisions] would produce.
+    - [snap_gap > 0] captures snapshots and passes each to [snap], in
+      position order.  Only {e branching} positions (more than one
+      runnable process) are captured — a resumed run can deviate nowhere
+      else — at most one per [snap_gap] positions, starting at
+      [Array.length decisions] (positions below the explicit vector
+      belong to ancestor prefixes, whose own runs captured them).  The
+      first branching position at or past [Array.length decisions] is
+      always captured, so every child of this run has a snapshot at or
+      before its deviation position.
+
+    [crash] is a thunk because resuming needs a fresh plan to wind
+    forward; it is called exactly once per [run_resumable] call.  The
+    hooks of {!run} ([on_op], [on_crash], [trace_ops]) are not available:
+    fast-forward does not re-fire them.  Domain-safety matches {!run};
+    snapshots may be captured in one domain and resumed in another, but
+    not concurrently with mutations of the capturing run (the explorer's
+    DFS discipline guarantees this). *)
+
 (** {1 Result helpers} *)
 
 val completed_passages : result -> passage list

@@ -50,6 +50,24 @@ val forget : t -> pid:int -> unit
 (** [forget t ~pid] drops every cache line of [pid] — called by the engine
     when the process crashes, since a restart begins with a cold cache. *)
 
+(** {1 Checkpoints}
+
+    Point-in-time images of the store, used by the engine's run
+    checkpoints (the parallel explorer's prefix-elimination). *)
+
+type image
+
+val snapshot : t -> image
+(** [snapshot t] copies the current contents, write versions and cache
+    validity rows of every allocated cell.  O(cells · n). *)
+
+val restore : t -> image -> unit
+(** [restore t img] overwrites [t]'s contents, versions and cache rows with
+    the image's.  [t] must hold exactly the cells it held when [img] was
+    taken (same count, in allocation order) — the engine guarantees this by
+    replaying the deterministic allocation history before restoring.
+    @raise Invalid_argument when the cell counts differ. *)
+
 (** {1 Accounted operations}
 
     Each returns [(result, rmrs)] where [rmrs] ∈ {0, 1}. *)

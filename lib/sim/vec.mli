@@ -20,6 +20,11 @@ val get : 'a t -> int -> 'a
 (** [get t i] is the [i]-th element.  @raise Invalid_argument when out of
     bounds. *)
 
+val unsafe_get : 'a t -> int -> 'a
+(** [unsafe_get t i] is [get t i] without the bounds check, for hot loops
+    whose index is already validated against {!length}.  Out-of-bounds
+    behaviour is undefined. *)
+
 val set : 'a t -> int -> 'a -> unit
 (** [set t i x] replaces the [i]-th element.  @raise Invalid_argument when out
     of bounds. *)
@@ -46,5 +51,15 @@ val exists : ('a -> bool) -> 'a t -> bool
 val to_list : 'a t -> 'a list
 
 val to_array : 'a t -> 'a array
+
+val blit_prefix : 'a t -> int -> 'a t -> unit
+(** [blit_prefix src len dst] appends the first [len] elements of [src] to
+    [dst].  Used by the engine's checkpoint restore to seed a fresh
+    per-run buffer with a snapshotted prefix.  @raise Invalid_argument
+    when [len] exceeds [src]'s length. *)
+
+val prefix_array : 'a t -> int -> 'a array
+(** [prefix_array src len] is a fresh array of the first [len] elements.
+    @raise Invalid_argument when [len] exceeds [src]'s length. *)
 
 val of_list : 'a list -> 'a t

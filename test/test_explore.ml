@@ -262,10 +262,111 @@ let test_parallel_clean_tree_identical () =
   let par =
     run
       (Explore.explore_parallel ~max_runs:5_000 ~domains:4 ?max_steps:None ?split_depth:None
-         ?shrink_violations:None ?record:None ?por:None)
+         ?snap_gap:None ?shrink_violations:None ?record:None ?por:None)
   in
   check cb "exhausted" true seq.Explore.exhausted;
   check cb "identical outcomes" true (seq = par)
+
+(* --- differential: sequential vs checkpointed parallel -------------- *)
+
+(* The whole point of the settlement scheme: {runs; exhausted; violation}
+   — including the shrunk witness — must be byte-identical to the
+   sequential explorer's for every domain count, POR on or off, with and
+   without a (robust) crash plan, and under truncating budgets.  The
+   structural equality below compares complete outcome records. *)
+
+let small_writes_setup ctx = Memory.alloc (Engine.Ctx.memory ctx) ~name:"c" 0
+
+let small_writes_body c ~pid:_ =
+  if Api.completed_requests () < 1 then begin
+    Api.note (Event.Seg Event.Req_begin);
+    Api.write c 1;
+    Api.write c 2;
+    Api.note (Event.Seg Event.Req_done)
+  end
+
+let explore_small ~por ~max_runs ~domains =
+  if domains = 0 then
+    Explore.explore ~por ~max_runs ~n:2 ~model:Memory.CC
+      ~crash:(fun () -> Crash.none)
+      ~setup:small_writes_setup ~body:small_writes_body
+      ~check:(fun _ -> None)
+      ()
+  else
+    Explore.explore_parallel ~por ~max_runs ~domains ~n:2 ~model:Memory.CC
+      ~crash:(fun () -> Crash.none)
+      ~setup:small_writes_setup ~body:small_writes_body
+      ~check:(fun _ -> None)
+      ()
+
+let explore_wr_gap ~por ~max_runs ~domains =
+  if domains = 0 then
+    Explore.explore ~por ~max_runs ~max_steps:4_000 ~n:3 ~model:Memory.CC ~crash:wr_gap_crash
+      ~setup:wr_gap_setup ~body:wr_gap_body ~check:wr_gap_check ()
+  else
+    Explore.explore_parallel ~por ~max_runs ~max_steps:4_000 ~domains ~n:3 ~model:Memory.CC
+      ~crash:wr_gap_crash ~setup:wr_gap_setup ~body:wr_gap_body ~check:wr_gap_check ()
+
+let assert_identical tag (seq : Explore.outcome) (par : Explore.outcome) =
+  check ci (tag ^ ": runs") seq.Explore.runs par.Explore.runs;
+  check cb (tag ^ ": exhausted") seq.Explore.exhausted par.Explore.exhausted;
+  check cb (tag ^ ": violation (incl. shrunk witness)") true
+    (par.Explore.violation = seq.Explore.violation)
+
+let test_differential_clean_tree () =
+  List.iter
+    (fun por ->
+      let seq = explore_small ~por ~max_runs:5_000 ~domains:0 in
+      check cb "exhausted" true seq.Explore.exhausted;
+      List.iter
+        (fun domains ->
+          assert_identical
+            (Printf.sprintf "small por=%b d=%d" por domains)
+            seq
+            (explore_small ~por ~max_runs:5_000 ~domains))
+        [ 1; 2; 4 ])
+    [ false; true ]
+
+let test_differential_truncated_budgets () =
+  (* Regression for the nondeterministic-truncation bug: the old frontier
+     expansion silently dropped pending items when the budget ran out
+     mid-level, so a truncated parallel result depended on where the
+     budget landed.  Now every truncated outcome is byte-identical to the
+     sequential one, for any budget and domain count. *)
+  List.iter
+    (fun por ->
+      List.iter
+        (fun max_runs ->
+          let seq = explore_small ~por ~max_runs ~domains:0 in
+          List.iter
+            (fun domains ->
+              assert_identical
+                (Printf.sprintf "small por=%b max_runs=%d d=%d" por max_runs domains)
+                seq
+                (explore_small ~por ~max_runs ~domains))
+            [ 1; 2; 4 ])
+        [ 1; 2; 3; 7; 40 ])
+    [ false; true ]
+
+let test_differential_violation_crash_plan () =
+  (* Robust crash plan, real violation on the DFS spine (the WR FAS gap):
+     with an ample budget all domain counts must report the identical
+     violation at the identical run count; with a budget that truncates
+     before the witness they must all report the identical truncation. *)
+  List.iter
+    (fun por ->
+      List.iter
+        (fun max_runs ->
+          let seq = explore_wr_gap ~por ~max_runs ~domains:0 in
+          List.iter
+            (fun domains ->
+              assert_identical
+                (Printf.sprintf "wr-gap por=%b max_runs=%d d=%d" por max_runs domains)
+                seq
+                (explore_wr_gap ~por ~max_runs ~domains))
+            [ 1; 2; 4 ])
+        [ 600; 20_000 ])
+    [ false; true ]
 
 (* --- sleep-set POR equivalence ------------------------------------- *)
 
@@ -460,6 +561,14 @@ let () =
             test_wr_gap_parallel_determinism;
           Alcotest.test_case "clean tree: identical outcomes" `Quick
             test_parallel_clean_tree_identical;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "clean tree: 1/2/4 domains x por" `Quick test_differential_clean_tree;
+          Alcotest.test_case "truncated budgets deterministic" `Quick
+            test_differential_truncated_budgets;
+          Alcotest.test_case "violation + crash plan + truncation" `Quick
+            test_differential_violation_crash_plan;
         ] );
       ( "shrink",
         [
