@@ -643,10 +643,10 @@ let explore_bench () =
   let max_runs = 4_000 in
   let run_case = function
     | None ->
-        Rme_check.Explore.explore ~por:false ~max_runs ~max_steps:4_000 ~shrink_violations:false
+        Rme_check.Explore.explore ~por:`Off ~max_runs ~max_steps:4_000 ~shrink_violations:false
           ~n:3 ~model:Memory.CC ~crash ~setup:Wr_lock.make ~body ~check ()
     | Some domains ->
-        Rme_check.Explore.explore_parallel ~por:false ~snap_gap:8 ~domains ~max_runs
+        Rme_check.Explore.explore_parallel ~por:`Off ~snap_gap:8 ~domains ~max_runs
           ~max_steps:4_000 ~shrink_violations:false ~n:3 ~model:Memory.CC ~crash
           ~setup:Wr_lock.make ~body ~check ()
   in
@@ -723,53 +723,102 @@ let explore_bench () =
   if gate_fail then
     Fmt.pr "@.FAIL: domains=2 is slower than the sequential explorer (%.2fx < 1.00x)@."
       (speedup_at "domains=2");
-  (* --- sleep-set partial-order reduction ---------------------------- *)
-  Fmt.pr "@.=== Sleep-set POR: plain vs reduced search ===@.@.";
-  (* Two kinds of evidence.  Where the unpruned search can finish (the
-     splitter tree) or stops at a violation (the FAS-gap subjects), both
-     searches run to completion and the outcomes must match exactly.  On
-     the real lock trees the unpruned search cannot finish at all — POR
-     exhausts them, so the plain search instead gets a budget of several
-     times the POR count; failing to exhaust it proves the reduction
-     factor as a lower bound.  Divergence is only declared where the
-     comparison is conclusive: differing violations, or a violation /
-     non-exhaustion that the other side's completed search rules out. *)
+  (* --- partial-order reduction: `Off vs `Sleep vs `Source ----------- *)
+  Fmt.pr "@.=== POR tiers: plain vs sleep sets vs source-set DPOR ===@.@.";
+  (* Three-way A/B.  Where a search can finish (exhaust or stop at a
+     violation) its outcome is compared against every other tier that also
+     finished; divergence is only declared where a comparison is
+     conclusive — differing violations, or a violation / non-exhaustion
+     that another tier's completed search rules out.  The headline
+     reduction factor compares `Source against the best tier that actually
+     exhausted: the plain search where it can finish at all, else the
+     sleep-set search, else (as a 4x-budget lower bound) the truncated
+     plain search. *)
   let divergence = ref false in
+  let overhead_fail = ref false in
   let reduction_case (name, run_one, por_cap) =
-    let por, por_dt = time (fun () -> run_one ~por:true ~max_runs:por_cap) in
+    let source, source_dt = time (fun () -> run_one ~por:`Source ~max_runs:por_cap) in
+    let sleep, sleep_dt = time (fun () -> run_one ~por:`Sleep ~max_runs:por_cap) in
     let plain_cap =
-      if por.Rme_check.Explore.exhausted then max (4 * por.Rme_check.Explore.runs) 10_000
+      if source.Rme_check.Explore.exhausted || sleep.Rme_check.Explore.exhausted then
+        max (4 * max source.Rme_check.Explore.runs sleep.Rme_check.Explore.runs) 10_000
       else por_cap
     in
-    let plain, plain_dt = time (fun () -> run_one ~por:false ~max_runs:plain_cap) in
-    let pe = plain.Rme_check.Explore.exhausted and qe = por.Rme_check.Explore.exhausted in
-    let pv = plain.Rme_check.Explore.violation and qv = por.Rme_check.Explore.violation in
-    let conclusive, identical =
-      match (pv, qv) with
-      | Some _, Some _ -> (true, pv = qv)
-      | None, Some _ -> (pe, not pe) (* plain finished clean, por violated: divergence *)
-      | Some _, None -> (qe, not qe) (* por proved the tree clean, plain violated *)
+    let plain, plain_dt = time (fun () -> run_one ~por:`Off ~max_runs:plain_cap) in
+    (* Pairwise verdict comparison: [conclusive, identical]. *)
+    (* [witness]: compare the full violation including the shrunk witness
+       (off vs sleep, strict preorder on both sides); pairs involving
+       `Source compare the message only — the demand-driven order may
+       surface a different witness of the same failure (explore.mli). *)
+    let compare_pair ~witness (p : Rme_check.Explore.outcome) (q : Rme_check.Explore.outcome) =
+      match (p.Rme_check.Explore.violation, q.Rme_check.Explore.violation) with
+      | Some pv, Some qv -> (true, if witness then pv = qv else fst pv = fst qv)
+      | None, Some _ -> (p.Rme_check.Explore.exhausted, not p.Rme_check.Explore.exhausted)
+      | Some _, None -> (q.Rme_check.Explore.exhausted, not q.Rme_check.Explore.exhausted)
       | None, None ->
-          if pe && qe then (true, true)
-          else if qe then (true, true) (* por exhausted; truncated plain agrees so far *)
-          else (pe, not pe) (* plain exhausted but por did not: subset property broken *)
+          if p.Rme_check.Explore.exhausted || q.Rme_check.Explore.exhausted then (true, true)
+          else (false, false)
     in
-    if conclusive && not identical then begin
-      divergence := true;
-      Fmt.pr "DIVERGENCE on %s:@.  plain: %a@.  por:   %a@." name Rme_check.Explore.pp_outcome
-        plain Rme_check.Explore.pp_outcome por
+    let pairs =
+      [
+        ("off/source", false, plain, source);
+        ("sleep/source", false, sleep, source);
+        ("off/sleep", true, plain, sleep);
+      ]
+    in
+    let identical = ref true in
+    let any_conclusive = ref false in
+    List.iter
+      (fun (pair, witness, p, q) ->
+        let conclusive, same = compare_pair ~witness p q in
+        if conclusive then any_conclusive := true;
+        if conclusive && not same then begin
+          identical := false;
+          divergence := true;
+          Fmt.pr "DIVERGENCE on %s (%s):@.  %a@.  vs %a@." name pair
+            Rme_check.Explore.pp_outcome p Rme_check.Explore.pp_outcome q
+        end)
+      pairs;
+    if not !any_conclusive then
+      Fmt.pr "WARNING: %s is inconclusive — no tier finished within its budget.@." name;
+    (* Reduced tiers pay footprint collection per run; on unreduced
+       subjects (equal run counts) that overhead must stay under 10% —
+       the root probe keeps the first, often decisive, run
+       footprint-free.  Violation-stopped rows are exempt: there the
+       whole search is a handful of instrumented runs (wr-gap-me-n3:
+       83 runs, ~10 ms), below any stable noise floor, and the probe
+       already removes the cost entirely when the default schedule
+       itself violates. *)
+    if
+      source.Rme_check.Explore.runs = plain.Rme_check.Explore.runs
+      && plain.Rme_check.Explore.violation = None
+      && plain_dt > 0.02
+      && source_dt > 1.1 *. plain_dt
+    then begin
+      overhead_fail := true;
+      Fmt.pr "OVERHEAD on %s: source %.4fs vs plain %.4fs at equal runs (> 10%%)@." name source_dt
+        plain_dt
     end;
-    if not conclusive then
-      Fmt.pr "WARNING: %s is inconclusive — neither search finished within its budget.@." name;
-    let lower_bound = (not pe) && qe in
+    let baseline, baseline_runs, baseline_exhausted =
+      if plain.Rme_check.Explore.exhausted then ("off", plain.Rme_check.Explore.runs, true)
+      else if sleep.Rme_check.Explore.exhausted then ("sleep", sleep.Rme_check.Explore.runs, true)
+      else ("off", plain.Rme_check.Explore.runs, false)
+    in
+    let factor =
+      float_of_int baseline_runs /. float_of_int (max 1 source.Rme_check.Explore.runs)
+    in
     ( name,
       plain.Rme_check.Explore.runs,
-      por.Rme_check.Explore.runs,
+      sleep.Rme_check.Explore.runs,
+      source.Rme_check.Explore.runs,
       plain_dt,
-      por_dt,
-      float_of_int plain.Rme_check.Explore.runs /. float_of_int (max 1 por.Rme_check.Explore.runs),
-      lower_bound,
-      conclusive && identical )
+      sleep_dt,
+      source_dt,
+      factor,
+      baseline,
+      (not baseline_exhausted) && source.Rme_check.Explore.exhausted,
+      !identical,
+      source.Rme_check.Explore.exhausted )
   in
   (* Splitter one-shot: the only real-lock tree small enough for the plain
      search to enumerate completely — the exact-factor, both-exhausted
@@ -801,6 +850,34 @@ let explore_bench () =
     let make = (Rme.Spec.find_exn "sa-jjj").Rme.Spec.make in
     Rme_check.Explore.explore ~por ~max_runs ~max_steps:20_000 ~shrink_violations:false ~n:2
       ~model:Memory.CC ~crash ~setup:make ~body:body_one ~check ()
+  in
+  (* SA stack ME at n=3: the acceptance subject — beyond both the plain
+     and the sleep-set search, exhausted only by source-set DPOR with
+     state caching.  The arrival order is handoff-chained (each process
+     may start its request once its predecessor reaches Cs_end), so the
+     explored concurrency is the acquire-vs-release handoff race at
+     every link of the n=3 structure; the unconstrained 3-way tree is
+     beyond any tier (measured > 5M classes).  Mutual exclusion is
+     checked across all three processes. *)
+  let sa_n3 ~por ~max_runs =
+    let make = (Rme.Spec.find_exn "sa-jjj").Rme.Spec.make in
+    Rme_check.Explore.explore ~por ~max_runs ~max_steps:20_000 ~shrink_violations:false ~n:3
+      ~model:Memory.CC ~crash
+      ~setup:(fun ctx ->
+        let gate = Memory.alloc (Engine.Ctx.memory ctx) ~name:"gate" 0 in
+        (make ctx, gate))
+      ~body:(fun (lock, gate) ~pid ->
+        if Api.completed_requests () < 1 then begin
+          if pid > 0 then Api.spin_until gate (Api.Eq pid);
+          Api.note (Rme_sim.Event.Seg Rme_sim.Event.Req_begin);
+          lock.Rme_locks.Lock.acquire ~pid;
+          Api.note (Rme_sim.Event.Seg Rme_sim.Event.Cs_begin);
+          Api.note (Rme_sim.Event.Seg Rme_sim.Event.Cs_end);
+          Api.write gate (pid + 1);
+          lock.Rme_locks.Lock.release ~pid;
+          Api.note (Rme_sim.Event.Seg Rme_sim.Event.Req_done)
+        end)
+      ~check ()
   in
   (* WR-Lock ME at n=3 around the unsafe FAS gap (the Figure 1 scenario,
      staged as in the explorer tests): both searches stop at the identical
@@ -835,28 +912,44 @@ let explore_bench () =
         ("wr-me-n2", wr_n2, 200_000);
         ("wr-gap-me-n3", wr_gap, 200_000);
         ("sa-me-n2", sa_n2, 200_000);
+        ("sa-me-n3", sa_n3, 400_000);
       ]
   in
   table
-    ~header:[ "subject"; "plain runs"; "por runs"; "reduction"; "plain"; "por"; "identical" ]
+    ~header:
+      [ "subject"; "plain"; "sleep"; "source"; "reduction"; "base"; "t plain"; "t src"; "identical" ]
     ~rows:
       (List.map
-         (fun (name, plain_runs, por_runs, plain_dt, por_dt, factor, lower_bound, identical) ->
+         (fun ( name,
+                plain_runs,
+                sleep_runs,
+                source_runs,
+                plain_dt,
+                _sleep_dt,
+                source_dt,
+                factor,
+                baseline,
+                lower_bound,
+                identical,
+                _exh ) ->
            [
              name;
              string_of_int plain_runs;
-             string_of_int por_runs;
+             string_of_int sleep_runs;
+             string_of_int source_runs;
              Printf.sprintf "%s%.2fx" (if lower_bound then ">= " else "") factor;
+             baseline;
              Printf.sprintf "%.3f s" plain_dt;
-             Printf.sprintf "%.3f s" por_dt;
+             Printf.sprintf "%.3f s" source_dt;
              string_of_bool identical;
            ])
          reductions);
-  Fmt.pr "@.(identical = conclusively same outcome: same first violation and shrunk@.\
-          witness, or same clean exhaustion; '>=' marks subjects whose unpruned tree@.\
-          exceeded 4x the POR run count without exhausting, so the true factor is@.\
-          larger — the sleep-set oracle only prunes runs that provably reorder@.\
-          commuting steps of an explored run)@.";
+  Fmt.pr "@.(identical = every conclusive tier pair agrees: same first violation and@.\
+          shrunk witness, or same clean exhaustion — a truncated clean search is@.\
+          compatible with an exhausted clean one; 'reduction' compares `Source@.\
+          against the named baseline, the best tier that exhausted, and '>=' marks@.\
+          subjects where no baseline tier exhausted within 4x the source runs, so@.\
+          the true factor is larger)@.";
   (* Machine-readable trajectory point, same shape as the sweep/chaos
      experiments: throughput cases plus the POR reduction factors. *)
   let path = "BENCH_explore.json" in
@@ -873,20 +966,53 @@ let explore_bench () =
     throughput;
   Buffer.add_string buf "  ],\n  \"reduction\": [\n";
   List.iteri
-    (fun i (name, plain_runs, por_runs, plain_dt, por_dt, factor, lower_bound, identical) ->
+    (fun i
+         ( name,
+           plain_runs,
+           sleep_runs,
+           source_runs,
+           plain_dt,
+           sleep_dt,
+           source_dt,
+           factor,
+           baseline,
+           lower_bound,
+           identical,
+           source_exhausted ) ->
       Buffer.add_string buf
         (Printf.sprintf
-           "    {\"subject\": %S, \"plain_runs\": %d, \"por_runs\": %d, \
-            \"reduction_factor\": %.3f, \"factor_is_lower_bound\": %b, \
-            \"plain_seconds\": %.4f, \"por_seconds\": %.4f, \"identical_outcome\": %b}%s\n"
-           name plain_runs por_runs factor lower_bound plain_dt por_dt identical
+           "    {\"subject\": %S, \"plain_runs\": %d, \"sleep_runs\": %d, \"por_runs\": %d, \
+            \"reduction_factor\": %.3f, \"baseline\": %S, \"factor_is_lower_bound\": %b, \
+            \"plain_seconds\": %.4f, \"sleep_seconds\": %.4f, \"por_seconds\": %.4f, \
+            \"source_exhausted\": %b, \"identical_outcome\": %b}%s\n"
+           name plain_runs sleep_runs source_runs factor baseline lower_bound plain_dt sleep_dt
+           source_dt source_exhausted identical
            (if i = List.length reductions - 1 then "" else ",")))
     reductions;
   Buffer.add_string buf "  ]\n}\n";
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (Buffer.contents buf));
   Fmt.pr "@.(json: %s)@." path;
-  if !divergence || gate_fail then exit 1
+  (* Acceptance gates: the SA stack must exhaust under `Source at n=2
+     (exact factor, not a lower bound) and at n=3, and the splitter must
+     keep its measured reduction. *)
+  let row name =
+    List.find (fun (n, _, _, _, _, _, _, _, _, _, _, _) -> n = name) reductions
+  in
+  let exhausted_of (_, _, _, _, _, _, _, _, _, _, _, e) = e in
+  let factor_of (_, _, _, _, _, _, _, f, _, _, _, _) = f in
+  let lower_of (_, _, _, _, _, _, _, _, _, lb, _, _) = lb in
+  let gate ok msg = if not ok then (Fmt.pr "FAIL: %s@." msg; true) else false in
+  let accept_fail =
+    List.exists Fun.id
+      [
+        gate (exhausted_of (row "sa-me-n2")) "sa-me-n2 must exhaust under `Source";
+        gate (not (lower_of (row "sa-me-n2"))) "sa-me-n2 factor must not be a lower bound";
+        gate (exhausted_of (row "sa-me-n3")) "sa-me-n3 must exhaust under `Source";
+        gate (factor_of (row "splitter-me-n2") >= 91.0) "splitter-me-n2 must keep >= 91x";
+      ]
+  in
+  if !divergence || gate_fail || !overhead_fail || accept_fail then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Sweep throughput: crash-site campaign cost per lock                  *)

@@ -26,11 +26,11 @@ let time f =
 let () =
   let max_runs = try int_of_string (Sys.getenv "PROBE_RUNS") with Not_found -> 4_000 in
   let seq () =
-    Rme_check.Explore.explore ~por:false ~max_runs ~max_steps:4_000 ~shrink_violations:false
+    Rme_check.Explore.explore ~por:`Off ~max_runs ~max_steps:4_000 ~shrink_violations:false
       ~n:nproc ~model:Memory.CC ~crash ~setup:Wr_lock.make ~body ~check ()
   in
   let par ~snap_gap ~domains () =
-    Rme_check.Explore.explore_parallel ~por:false ~snap_gap ~domains ~max_runs ~max_steps:4_000
+    Rme_check.Explore.explore_parallel ~por:`Off ~snap_gap ~domains ~max_runs ~max_steps:4_000
       ~shrink_violations:false ~n:nproc ~model:Memory.CC ~crash ~setup:Wr_lock.make ~body ~check ()
   in
   ignore (par ~snap_gap:4 ~domains:2 ());

@@ -54,34 +54,38 @@ type 'a driver = {
   crashy : int -> bool;
 }
 
-(* Decide whether the sleep-set reduction can run.  It needs (a) a
-   schedule-robust crash plan — otherwise commuting two independent steps
-   can move where a crash fires — and (b) no event recording: [check]s that
-   read [result.events] can observe the order of independent steps, which
-   the reduction deliberately does not preserve.  Aggregate statistics
-   (counts, maxima, per-passage RMRs) are permutation-stable by the
-   footprint oracle's construction. *)
+(* Decide which reduction tier can actually run.  Both reduced tiers need
+   (a) a schedule-robust crash plan — otherwise commuting two independent
+   steps can move where a crash fires — and (b) no event recording:
+   [check]s that read [result.events] can observe the order of independent
+   steps, which the reduction deliberately does not preserve.  Aggregate
+   statistics (counts, maxima, per-passage RMRs) are permutation-stable by
+   the footprint oracle's construction.  When either condition fails the
+   requested tier downgrades to `Off. *)
 let por_setup ~por ~record ~crash =
-  if not por then (false, fun _ -> false)
-  else
-    match Crash.por_class (crash ()) with
-    | Crash.Robust victims when not record -> (true, fun pid -> List.mem pid victims)
-    | Crash.Robust _ | Crash.Sensitive -> (false, fun _ -> false)
+  match por with
+  | `Off -> (`Off, fun _ -> false)
+  | (`Sleep | `Source) as tier -> (
+      match Crash.por_class (crash ()) with
+      | Crash.Robust victims when not record -> (tier, fun pid -> List.mem pid victims)
+      | Crash.Robust _ | Crash.Sensitive -> (`Off, fun _ -> false))
 
 (* Run one schedule.  Returns the engine result, the branching degree
    observed at every decision point, the per-choice footprints (flat, in
    decision order — [None] unless the driver runs with POR), and whether
    any decision fell outside its degree (an unfaithful replay — see
-   Sched.trace). *)
-let run_trace d trace =
+   Sched.trace).  [state_key_at]/[on_state_key] pass through to
+   {!Engine.run} (the `Source tier's state-cache key). *)
+let run_trace ?(state_key_at = -1) ?(on_state_key = fun _ -> ()) d trace =
   let decisions = Vec.of_list trace in
   let record = Vec.create () in
   let mismatch = ref false in
   let sched = Sched.trace ~mismatch ~decisions ~record () in
   let footprints = if d.por then Some (Vec.create ()) else None in
   let res =
-    Engine.run ?footprints ~footprint_crashy:d.crashy ~record:d.record ~max_steps:d.max_steps
-      ~n:d.n ~model:d.model ~sched ~crash:(d.crash ()) ~setup:d.setup ~body:d.body ()
+    Engine.run ?footprints ~footprint_crashy:d.crashy ~state_key_at ~on_state_key
+      ~record:d.record ~max_steps:d.max_steps ~n:d.n ~model:d.model ~sched ~crash:(d.crash ())
+      ~setup:d.setup ~body:d.body ()
   in
   (res, Vec.to_array record, footprints, !mismatch)
 
@@ -182,6 +186,283 @@ let subtree d ~take_run ~stop (prefix0, sleep0) =
   | exception Halt -> None
   | exception Found (msg, tr) -> Some (msg, tr)
 
+(* ------------------------------------------------------------------ *)
+(* Source-set DPOR (`Source tier)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared runtime of one `Source search: the demand slots and the state
+   cache.  [slots] holds, per absolute decision position of the current
+   DFS path, the bitmask of sibling choices some observed race demands at
+   that position ([all_mask] = every choice, used when the demanded pid is
+   not runnable there or the degree exceeds the mask width).  One frame
+   owns each position at a time; a frame drains and clears its own
+   positions before returning, and leaves demands for positions below
+   [root] — an ancestor's, or outside a parallel task's subtree — to their
+   owners (the parallel frontier is fully expanded under sleep-set
+   filtering, so dropped below-root demands are already covered by sibling
+   tasks). *)
+module Src = struct
+  type summary = Footprint.t list option
+  (* distinct footprints a subtree executed; [None] = overflowed the cap,
+     treated as conflicting with everything *)
+
+  type ctx = { slots : int Vec.t; root : int; cache : summary Statecache.t option }
+
+  (* Mutable summary accumulator threaded from child frames to parents. *)
+  type acc = { mutable fps : Footprint.t list; mutable universal : bool }
+
+  let all_mask = -1
+
+  let summary_cap = 64
+
+  let fresh_acc () = { fps = []; universal = false }
+
+  let note acc fp =
+    if not acc.universal then
+      if List.memq fp acc.fps then ()
+      else if List.length acc.fps >= summary_cap then begin
+        acc.universal <- true;
+        acc.fps <- []
+      end
+      else acc.fps <- fp :: acc.fps
+
+  let note_summary acc = function
+    | None ->
+        acc.universal <- true;
+        acc.fps <- []
+    | Some l -> List.iter (note acc) l
+
+  let to_summary acc : summary = if acc.universal then None else Some acc.fps
+
+  let ensure ctx len =
+    while Vec.length ctx.slots < len do
+      Vec.push ctx.slots 0
+    done
+
+  let demand ctx ~pos ~deg ~choice =
+    let cur = Vec.get ctx.slots pos in
+    if cur <> all_mask then
+      Vec.set ctx.slots pos
+        (match choice with
+        | Some c when deg <= 62 -> cur lor (1 lsl c)
+        | Some _ | None -> all_mask)
+
+  (* Scan a completed run for reversible races and deposit the resulting
+     demands.  [decisions] is the explicit prefix (0 past its end), [offs]
+     the per-position offsets into the flat footprint buffer [fp]. *)
+  let scan ctx ~n ~decisions ~branches ~offs ~fp =
+    let len = Array.length branches in
+    ensure ctx len;
+    let ndec = Array.length decisions in
+    let choice j = if j < ndec then decisions.(j) else 0 in
+    let executed j = fp (offs.(j) + choice j) in
+    Footprint.Race.scan ~n ~len ~executed
+      ~degree:(fun j -> branches.(j))
+      ~emit:(fun ~pos ~pid ->
+        if pos >= ctx.root then begin
+          let deg = branches.(pos) in
+          let c = ref None in
+          for i = deg - 1 downto 0 do
+            if Footprint.pid (fp (offs.(pos) + i)) = pid then c := Some i
+          done;
+          demand ctx ~pos ~deg ~choice:!c
+        end)
+
+  (* Conservative demands a pruned (cache-hit) subtree owes the current
+     prefix.  The stored exploration raised its cross-prefix race demands
+     against *its* path, not ours, so re-raise them here from the summary:
+     demand every sibling at every branching prefix position whose
+     executed step conflicts with any footprint the subtree ran. *)
+  let demand_prefix ctx ~decisions ~branches ~offs ~fp ~depth (s : summary) =
+    ensure ctx depth;
+    for k = ctx.root to depth - 1 do
+      let deg = branches.(k) in
+      if deg > 1 then begin
+        let fk = fp (offs.(k) + decisions.(k)) in
+        let conflict =
+          match s with
+          | None -> true
+          | Some l ->
+              List.exists
+                (fun f ->
+                  Footprint.pid f <> Footprint.pid fk && not (Footprint.independent f fk))
+                l
+        in
+        if conflict then demand ctx ~pos:k ~deg ~choice:None
+      end
+    done
+
+  (* Sleep mask for the cache's subset rule; pids ≥ 62 cannot be encoded
+     exactly, so caching is disabled for such systems upstream. *)
+  let mask_of_sleep inh = List.fold_left (fun m f -> m lor (1 lsl Footprint.pid f)) 0 inh
+end
+
+(* Depth-first source-set DPOR with state caching: the `Source analogue of
+   [subtree].  Each node runs its spine schedule, scans the observed
+   footprints for reversible races ({!Footprint.Race}), and explores a
+   sibling only when some race demands it — where [subtree] visits every
+   non-slept sibling.  Demands land in the shared [ctx.slots] under the
+   position they reverse; since descendants of a node keep discovering
+   races at its positions, every frame drains its own position range with
+   fixpoint sweeps until no demand is pending.  Sleep sets filter exactly
+   as in [subtree], and a demanded-but-sleeping pid stays skipped (its
+   reversal is the run the sleeper is standing in for).  A node whose
+   state key hits the cache — same key, stored sleep mask ⊆ current —
+   prunes its whole subtree after re-raising the stored summary's
+   conservative prefix demands; a completed frame none of whose
+   descendants timed out adds itself.  Visit order is demand-driven, so
+   when violations exist the reported witness may differ from [subtree]'s
+   preorder-first one (the shrunk witness is compared in the differential
+   battery instead); exhaustion and violation-existence always agree. *)
+let subtree_source d ~ctx ~take_run ~stop (prefix0, inh0) =
+  let exception Halt in
+  let exception Found of string * int list in
+  let caching = ctx.Src.cache <> None in
+  let rec go prefix inh0 (note : Src.acc) =
+    if stop () then raise Halt;
+    if not (take_run ()) then raise Halt;
+    let depth = List.length prefix in
+    let key = ref None in
+    let res, branches, fps, _ =
+      run_trace d prefix
+        ~state_key_at:(if caching then depth else -1)
+        ~on_state_key:(fun k -> key := Some k)
+    in
+    (match d.check res with Some msg -> raise (Found (msg, prefix)) | None -> ());
+    let len = Array.length branches in
+    if res.Engine.timed_out then begin
+      (* The run was cut mid-schedule: the permutation argument needs
+         complete runs, so expand this node unpruned (children still
+         reduce internally) and poison the cache adds of the whole path —
+         the subtree's footprints are unknown, so no ancestor summary can
+         be trusted. *)
+      let rev_spine = ref (List.rev prefix) in
+      for i = depth to len - 1 do
+        for c = 1 to branches.(i) - 1 do
+          ignore (go (List.rev_append !rev_spine [ c ]) [] note)
+        done;
+        rev_spine := 0 :: !rev_spine
+      done;
+      (* Demands children deposited at our positions are subsumed by the
+         unpruned expansion; clear them so they cannot leak upward. *)
+      for i = depth to min len (Vec.length ctx.Src.slots) - 1 do
+        Vec.set ctx.Src.slots i 0
+      done;
+      Src.note_summary note None;
+      false
+    end
+    else begin
+      let fps = match fps with Some v -> v | None -> assert false in
+      let fp i = Vec.get fps i in
+      let offs = Array.make (len + 1) 0 in
+      for i = 0 to len - 1 do
+        offs.(i + 1) <- offs.(i) + branches.(i)
+      done;
+      let decisions = Array.of_list prefix in
+      let slept = Src.mask_of_sleep inh0 in
+      let hit =
+        match (ctx.Src.cache, !key) with
+        | Some c, Some k -> Statecache.find c ~key:k ~slept
+        | _ -> None
+      in
+      match hit with
+      | Some summary ->
+          Src.demand_prefix ctx ~decisions ~branches ~offs ~fp ~depth summary;
+          Src.note_summary note summary;
+          true
+      | None ->
+          Src.scan ctx ~n:d.n ~decisions ~branches ~offs ~fp;
+          let acc = Src.fresh_acc () in
+          for j = depth to len - 1 do
+            Src.note acc (fp offs.(j))
+          done;
+          let m = len - depth in
+          let dem = Array.make (max m 1) 0 in
+          (* Drain demands addressed to this frame's positions out of the
+             shared slots, eagerly: after the own scan and after every child
+             returns.  A child's position range overlaps ours (absolute
+             positions alias across paths), so a demand of ours left in the
+             slots while a child runs would be consumed — and cleared — by
+             the child against the wrong node. *)
+          let drain () =
+            for i = depth to min len (Vec.length ctx.Src.slots) - 1 do
+              let v = Vec.get ctx.Src.slots i in
+              if v <> 0 then begin
+                dem.(i - depth) <- dem.(i - depth) lor v;
+                Vec.set ctx.Src.slots i 0
+              end
+            done
+          in
+          drain ();
+          let inh = Array.make (max m 1) [] in
+          let expl = Array.make (max m 1) [] in
+          let acted = Array.make (max m 1) 1 (* bit 0: the spine, covered by this run *) in
+          let rev_spine = Array.make (max m 1) [] in
+          if m > 0 then begin
+            inh.(0) <- inh0;
+            rev_spine.(0) <- List.rev prefix;
+            for ix = 1 to m - 1 do
+              rev_spine.(ix) <- 0 :: rev_spine.(ix - 1)
+            done
+          end;
+          let summarizable = ref true in
+          let first_sweep = ref true in
+          let progress = ref true in
+          while !progress do
+            progress := false;
+            for i = depth to len - 1 do
+              let ix = i - depth in
+              let deg = branches.(i) in
+              if deg > 1 then begin
+                let full = if deg >= 62 then Src.all_mask else (1 lsl deg) - 1 in
+                let pending = dem.(ix) land full land lnot acted.(ix) in
+                if pending <> 0 then
+                  for c = 1 to deg - 1 do
+                    if pending land (1 lsl c) <> 0 then begin
+                      acted.(ix) <- acted.(ix) lor (1 lsl c);
+                      let fpc = fp (offs.(i) + c) in
+                      let pidc = Footprint.pid fpc in
+                      if List.exists (fun s -> Footprint.pid s = pidc) inh.(ix) then ()
+                      else begin
+                        progress := true;
+                        let child_sleep =
+                          List.filter
+                            (fun s -> Footprint.independent s fpc)
+                            (inh.(ix) @ expl.(ix))
+                        in
+                        let ok = go (List.rev_append rev_spine.(ix) [ c ]) child_sleep acc in
+                        drain ();
+                        summarizable := !summarizable && ok;
+                        expl.(ix) <- fpc :: expl.(ix)
+                      end
+                    end
+                  done
+              end;
+              (* The spine's inherited sleep evolves exactly as [subtree]'s:
+                 past position [i], the first-sweep explored siblings (and
+                 the inherited sleepers) survive iff independent of the
+                 step the spine actually took. *)
+              if !first_sweep && ix + 1 < m then
+                inh.(ix + 1) <-
+                  List.filter
+                    (fun s -> Footprint.independent s (fp offs.(i)))
+                    (inh.(ix) @ expl.(ix))
+            done;
+            first_sweep := false
+          done;
+          (if !summarizable && caching then
+             match (ctx.Src.cache, !key) with
+             | Some c, Some k -> Statecache.add c ~key:k ~slept ~summary:(Src.to_summary acc)
+             | _ -> ());
+          Src.note_summary note (Src.to_summary acc);
+          !summarizable
+    end
+  in
+  match go prefix0 inh0 (Src.fresh_acc ()) with
+  | _ -> None
+  | exception Halt -> None
+  | exception Found (msg, tr) -> Some (msg, tr)
+
 (* [exhausted] means the search covered the whole tree (up to runs the
    sleep-set reduction proved equivalent to explored ones): no truncation
    and no violation (a violation stops the search early by design). *)
@@ -194,10 +475,22 @@ let finish d ~shrink_violations ~runs ~truncated violation =
   in
   { runs; exhausted = (violation = None) && not truncated; violation }
 
+(* Sleep masks index pids into an int; caching would be unsound past the
+   word width, so it switches off for (absurdly) wide systems. *)
+let cache_for ~n ~statecache ~cache_capacity =
+  if n > 62 then None
+  else
+    match statecache with
+    | Some _ as c -> c
+    | None -> if cache_capacity > 0 then Some (Statecache.create ~capacity:cache_capacity ()) else None
+
 let explore ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = true)
-    ?(record = false) ?(por = true) ~n ~model ~crash ~setup ~body ~check () =
-  let por, crashy = por_setup ~por ~record ~crash in
-  let d = { max_steps; record; n; model; crash; setup; body; check; por; crashy } in
+    ?(record = false) ?(por = `Sleep) ?statecache ?(cache_capacity = 65_536) ~n ~model ~crash
+    ~setup ~body ~check () =
+  let tier, crashy = por_setup ~por ~record ~crash in
+  let d =
+    { max_steps; record; n; model; crash; setup; body; check; por = tier <> `Off; crashy }
+  in
   let runs = ref 0 in
   let truncated = ref false in
   let take_run () =
@@ -210,8 +503,44 @@ let explore ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = tr
       true
     end
   in
-  let violation = subtree d ~take_run ~stop:(fun () -> false) ([], []) in
-  finish d ~shrink_violations ~runs:!runs ~truncated:!truncated violation
+  let stop () = false in
+  match tier with
+  | `Off ->
+      let violation = subtree d ~take_run ~stop ([], []) in
+      finish d ~shrink_violations ~runs:!runs ~truncated:!truncated violation
+  | (`Sleep | `Source) as tier ->
+      (* Root probe: the very first run — the default schedule — executes
+         footprint-free.  When it already violates, the whole search is
+         that one run and the reduction machinery never pays its footprint
+         overhead (the violation-bound case).  Otherwise the root re-runs
+         with footprints inside the reduced search, without consuming
+         budget a second time, so run counts match the un-probed search
+         exactly. *)
+      if not (take_run ()) then finish d ~shrink_violations ~runs:!runs ~truncated:!truncated None
+      else begin
+        let res, _, _, _ = run_trace { d with por = false } [] in
+        match d.check res with
+        | Some msg ->
+            finish d ~shrink_violations ~runs:!runs ~truncated:!truncated (Some (msg, []))
+        | None ->
+            let first = ref true in
+            let take_run' () =
+              if !first then begin
+                first := false;
+                true
+              end
+              else take_run ()
+            in
+            let violation =
+              match tier with
+              | `Sleep -> subtree d ~take_run:take_run' ~stop ([], [])
+              | `Source ->
+                  let cache = cache_for ~n ~statecache ~cache_capacity in
+                  let ctx = { Src.slots = Vec.create (); root = 0; cache } in
+                  subtree_source d ~ctx ~take_run:take_run' ~stop ([], [])
+            in
+            finish d ~shrink_violations ~runs:!runs ~truncated:!truncated violation
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Parallel exploration                                                *)
@@ -315,18 +644,187 @@ let subtree_ckpt d ~snap_gap ~take_run ~stop (prefix0, sleep0) =
   | exception Halt -> `Cut
   | exception Found (msg, tr) -> `Viol (msg, tr)
 
+(* Checkpointed source-set DPOR: [subtree_source]'s frame algorithm over
+   [subtree_ckpt]'s resume machinery.  Each parallel task runs one of
+   these over its own fresh {!Src.ctx} (slots, state cache) rooted at its
+   prefix length: demands for positions inside another task's subtree are
+   dropped at the root boundary — sound because the phase-1 frontier is
+   fully expanded under sleep-set filtering, a superset of any source-set
+   choice, so whatever a dropped demand would reach is a sibling task
+   already in the pool. *)
+let subtree_ckpt_source d ~snap_gap ~ctx ~take_run ~stop (prefix0, inh0) =
+  let exception Halt in
+  let exception Found of string * int list in
+  let caching = ctx.Src.cache <> None in
+  let rec go (base : Engine.Snap.t option) (decisions : int array) inh0 (note : Src.acc) =
+    if stop () then raise Halt;
+    if not (take_run ()) then raise Halt;
+    let depth = Array.length decisions in
+    let snaps = Vec.create () in
+    let key = ref None in
+    let rr =
+      Engine.run_resumable ?from:base ~snap_gap ~snap:(Vec.push snaps) ~record:d.record
+        ~max_steps:d.max_steps ~por:d.por ~footprint_crashy:d.crashy
+        ~state_key_at:(if caching then depth else -1)
+        ~on_state_key:(fun k -> key := Some k)
+        ~decisions ~n:d.n ~model:d.model ~crash:d.crash ~setup:d.setup ~body:d.body ()
+    in
+    let res = rr.Engine.rr_result in
+    (match d.check res with
+    | Some msg -> raise (Found (msg, Array.to_list decisions))
+    | None -> ());
+    let branches = rr.Engine.rr_degrees in
+    let len = Array.length branches in
+    let m = len - depth in
+    (* Deepest checkpoint at position <= i, precomputed because the
+       fixpoint sweeps revisit positions out of order. *)
+    let base_at = Array.make (max m 1) base in
+    (let si = ref 0 in
+     for ix = 0 to m - 1 do
+       let i = depth + ix in
+       while !si < Vec.length snaps && Engine.Snap.pos (Vec.get snaps !si) <= i do
+         incr si
+       done;
+       base_at.(ix) <- (if !si = 0 then base else Some (Vec.get snaps (!si - 1)))
+     done);
+    let child i c =
+      let v = Array.make (i + 1) 0 in
+      Array.blit decisions 0 v 0 depth;
+      v.(i) <- c;
+      v
+    in
+    if res.Engine.timed_out then begin
+      for i = depth to len - 1 do
+        for c = 1 to branches.(i) - 1 do
+          ignore (go base_at.(i - depth) (child i c) [] note)
+        done
+      done;
+      for i = depth to min len (Vec.length ctx.Src.slots) - 1 do
+        Vec.set ctx.Src.slots i 0
+      done;
+      Src.note_summary note None;
+      false
+    end
+    else begin
+      let fpv = rr.Engine.rr_footprints in
+      let fp i = fpv.(i) in
+      let offs = Array.make (len + 1) 0 in
+      for i = 0 to len - 1 do
+        offs.(i + 1) <- offs.(i) + branches.(i)
+      done;
+      let slept = Src.mask_of_sleep inh0 in
+      let hit =
+        match (ctx.Src.cache, !key) with
+        | Some c, Some k -> Statecache.find c ~key:k ~slept
+        | _ -> None
+      in
+      match hit with
+      | Some summary ->
+          Src.demand_prefix ctx ~decisions ~branches ~offs ~fp ~depth summary;
+          Src.note_summary note summary;
+          true
+      | None ->
+          Src.scan ctx ~n:d.n ~decisions ~branches ~offs ~fp;
+          let acc = Src.fresh_acc () in
+          for j = depth to len - 1 do
+            Src.note acc (fp offs.(j))
+          done;
+          let dem = Array.make (max m 1) 0 in
+          let drain () =
+            for i = depth to min len (Vec.length ctx.Src.slots) - 1 do
+              let v = Vec.get ctx.Src.slots i in
+              if v <> 0 then begin
+                dem.(i - depth) <- dem.(i - depth) lor v;
+                Vec.set ctx.Src.slots i 0
+              end
+            done
+          in
+          drain ();
+          let inh = Array.make (max m 1) [] in
+          let expl = Array.make (max m 1) [] in
+          let acted = Array.make (max m 1) 1 in
+          if m > 0 then inh.(0) <- inh0;
+          let summarizable = ref true in
+          let first_sweep = ref true in
+          let progress = ref true in
+          while !progress do
+            progress := false;
+            for i = depth to len - 1 do
+              let ix = i - depth in
+              let deg = branches.(i) in
+              if deg > 1 then begin
+                let full = if deg >= 62 then Src.all_mask else (1 lsl deg) - 1 in
+                let pending = dem.(ix) land full land lnot acted.(ix) in
+                if pending <> 0 then
+                  for c = 1 to deg - 1 do
+                    if pending land (1 lsl c) <> 0 then begin
+                      acted.(ix) <- acted.(ix) lor (1 lsl c);
+                      let fpc = fp (offs.(i) + c) in
+                      let pidc = Footprint.pid fpc in
+                      if List.exists (fun s -> Footprint.pid s = pidc) inh.(ix) then ()
+                      else begin
+                        progress := true;
+                        let child_sleep =
+                          List.filter
+                            (fun s -> Footprint.independent s fpc)
+                            (inh.(ix) @ expl.(ix))
+                        in
+                        let ok = go base_at.(ix) (child i c) child_sleep acc in
+                        drain ();
+                        summarizable := !summarizable && ok;
+                        expl.(ix) <- fpc :: expl.(ix)
+                      end
+                    end
+                  done
+              end;
+              if !first_sweep && ix + 1 < m then
+                inh.(ix + 1) <-
+                  List.filter
+                    (fun s -> Footprint.independent s (fp offs.(i)))
+                    (inh.(ix) @ expl.(ix))
+            done;
+            first_sweep := false
+          done;
+          (if !summarizable && caching then
+             match (ctx.Src.cache, !key) with
+             | Some c, Some k -> Statecache.add c ~key:k ~slept ~summary:(Src.to_summary acc)
+             | _ -> ());
+          Src.note_summary note (Src.to_summary acc);
+          !summarizable
+    end
+  in
+  match go None (Array.of_list prefix0) inh0 (Src.fresh_acc ()) with
+  | _ -> `Done
+  | exception Halt -> `Cut
+  | exception Found (msg, tr) -> `Viol (msg, tr)
+
 (* What a pool task reports back: how many nodes it visited (one per
    [take_run], exactly the sequential DFS's count for the same nodes), the
    first violation in its preorder if any, and whether it stopped early. *)
 type task_result = { t_runs : int; t_viol : (string * int list) option; t_cut : bool }
 
 let explore_parallel ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = true)
-    ?(record = false) ?(por = true) ?domains ?(split_depth = 1) ?(snap_gap = 4) ~n ~model ~crash
-    ~setup ~body ~check () =
-  let por, crashy = por_setup ~por ~record ~crash in
-  let d = { max_steps; record; n; model; crash; setup; body; check; por; crashy } in
+    ?(record = false) ?(por = `Sleep) ?(cache_capacity = 65_536) ?domains ?(split_depth = 1)
+    ?(snap_gap = 4) ~n ~model ~crash ~setup ~body ~check () =
+  let tier, crashy = por_setup ~por ~record ~crash in
+  let d =
+    { max_steps; record; n; model; crash; setup; body; check; por = tier <> `Off; crashy }
+  in
   let ndomains =
     match domains with Some x when x >= 1 -> x | Some _ -> 1 | None -> Pool.default_domains ()
+  in
+  (* ---- Phase 0: root probe (reduced tiers). ----
+     The default schedule runs once, footprint-free.  A violation here is
+     the sequential search's first run, so the whole exploration is that
+     one run — reduction never pays its footprint overhead on
+     violation-bound subjects.  Otherwise phase 1 re-runs the root with
+     footprints; settlement charges that interior node once, as before,
+     so run accounting is unchanged. *)
+  let probe_viol =
+    if tier = `Off || max_runs < 1 then None
+    else
+      let res, _, _, _ = run_trace { d with por = false } [] in
+      match d.check res with Some msg -> Some (msg, []) | None -> None
   in
   (* ---- Phase 1: adaptive frontier expansion (sequential). ----
      Runs interior nodes and replaces each by [Done :: its children] until
@@ -417,7 +915,11 @@ let explore_parallel ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violat
       if found_viol then items' else grow (level + 1) items'
     end
   in
-  let items = grow 0 [ Task ([], []) ] in
+  let items =
+    match probe_viol with
+    | Some (msg, tr) -> [ Viol (msg, tr) ]
+    | None -> grow 0 [ Task ([], []) ]
+  in
   (* ---- Phase 2: the pool. ----
      Tasks carry their skeleton context: [done_before.(j)] counts the
      interior-node runs the sequential search performs before reaching
@@ -463,7 +965,17 @@ let explore_parallel ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violat
         true
       end
     in
-    let r = subtree_ckpt d ~snap_gap ~take_run ~stop (prefix, sleep) in
+    let r =
+      match tier with
+      | `Off | `Sleep -> subtree_ckpt d ~snap_gap ~take_run ~stop (prefix, sleep)
+      | `Source ->
+          (* Fresh per-task slots and cache, rooted at the task prefix:
+             the task set and each task's search are then independent of
+             the domain count, so 1/2/4-domain outcomes stay identical. *)
+          let cache = cache_for ~n ~statecache:None ~cache_capacity in
+          let ctx = { Src.slots = Vec.create (); root = List.length prefix; cache } in
+          subtree_ckpt_source d ~snap_gap ~ctx ~take_run ~stop (prefix, sleep)
+    in
     Atomic.set progress.(j) !u;
     match r with
     | `Done -> { t_runs = !u; t_viol = None; t_cut = false }

@@ -35,7 +35,9 @@ val explore :
   ?max_steps:int ->
   ?shrink_violations:bool ->
   ?record:bool ->
-  ?por:bool ->
+  ?por:[ `Off | `Sleep | `Source ] ->
+  ?statecache:Footprint.t list option Statecache.t ->
+  ?cache_capacity:int ->
   n:int ->
   model:Memory.model ->
   crash:(unit -> Crash.t) ->
@@ -55,26 +57,50 @@ val explore :
     detection ({!Sched.trace}) and rejected when unfaithful, so the
     reported vector always witnesses the violation it claims.
 
-    [por] (default true) enables sleep-set partial-order reduction: a
-    sibling schedule is skipped when the step it deviates with is
-    independent — by the {!Footprint} oracle — of every step explored
-    since the deviating process was put to sleep, so only one
-    representative per Mazurkiewicz trace class is executed.  The oracle
-    is conservative, and the pruned search reports the {e identical}
-    [exhausted] verdict, first violation in DFS preorder, and shrunk
-    witness as the unpruned search, provided [check] is schedule-robust
-    (reads aggregate statistics, not step counts or latencies) and runs
-    terminate within [max_steps].  The reduction automatically disables
-    itself when it cannot be sound: under [record] (event order between
-    independent steps is not preserved) and for schedule-sensitive crash
-    plans ({!Crash.por_class} = [Sensitive]). *)
+    [por] selects the partial-order reduction tier (default [`Sleep]):
+
+    - [`Off]: plain exhaustive DFS over the schedule tree.
+    - [`Sleep]: sleep-set reduction — a sibling schedule is skipped when
+      the step it deviates with is independent — by the {!Footprint}
+      oracle — of every step explored since the deviating process was put
+      to sleep, so roughly one representative per Mazurkiewicz trace
+      class is executed.  Reports the {e identical} [exhausted] verdict,
+      first violation in DFS preorder, and shrunk witness as [`Off].
+    - [`Source]: source-set dynamic POR with state caching on top of the
+      sleep sets.  A sibling is explored only when an {e observed} race
+      in some explored run demands its reversal ({!Footprint.Race}), and
+      a decision node whose engine state digest ({!Engine.run}'s
+      [on_state_key]) was already fully explored under a sleep mask ⊆ the
+      current one prunes its whole subtree ({!Statecache}).  Explores a
+      subset of [`Sleep]'s runs (equal in the worst case; the run count
+      is not guaranteed smaller, but is on every benched subject).
+      Guarantees the identical [exhausted] verdict and the identical
+      answer to "does a violation exist", but the exploration order is
+      demand-driven, so a reported violation may be a {e different}
+      witness of the same property failure than [`Off]/[`Sleep]'s
+      preorder-first one (shrinking usually re-converges them).
+
+    Both reduced tiers require [check] to be schedule-robust (aggregate
+    statistics, not step counts or latencies) and runs to terminate
+    within [max_steps] (a timed-out run's node falls back to unpruned
+    expansion).  They automatically downgrade to [`Off] when they cannot
+    be sound: under [record] (event order between independent steps is
+    not preserved) and for schedule-sensitive crash plans
+    ({!Crash.por_class} = [Sensitive]).
+
+    [statecache] injects the [`Source] state cache (tests use degenerate
+    hashes/capacities to exercise collision behaviour); by default a
+    fresh cache of [cache_capacity] (default 65536) entries is built per
+    call.  [cache_capacity = 0] disables state caching — the source-set
+    reduction still applies.  Both are ignored outside [`Source]. *)
 
 val explore_parallel :
   ?max_runs:int ->
   ?max_steps:int ->
   ?shrink_violations:bool ->
   ?record:bool ->
-  ?por:bool ->
+  ?por:[ `Off | `Sleep | `Source ] ->
+  ?cache_capacity:int ->
   ?domains:int ->
   ?split_depth:int ->
   ?snap_gap:int ->
@@ -101,20 +127,27 @@ val explore_parallel :
     sequential one.
 
     Determinism: the reported outcome — [runs], [exhausted], and the
-    [violation] with its shrunk vector — is byte-identical to the
-    sequential {!explore}'s for every domain count, with and without
-    [por], including under [max_runs] truncation and when a violation is
-    found.  Tasks report their exact per-subtree visit counts and first
-    violations; a final sequential settlement walk over the DFS-preorder
-    skeleton recomputes exactly where the sequential search would stop.
+    [violation] with its shrunk vector — is byte-identical for every
+    domain count, under every [por] tier, including under [max_runs]
+    truncation and when a violation is found.  Tasks report their exact
+    per-subtree visit counts and first violations; a final sequential
+    settlement walk over the DFS-preorder skeleton recomputes exactly
+    where the search would stop.
     Budgets are enforced by leased lower bounds (each worker periodically
     publishes its progress and stops once the provable total reaches
     [max_runs]) rather than a contended shared counter, so a worker may
-    privately visit more nodes than the sequential search — but never
+    privately visit more nodes than the settled count — but never
     fewer within the settled region — without affecting the outcome.
-    With [por], sleep sets are threaded through the frontier split and
-    the expansion replicates the sequential sleep evolution exactly, so
-    the pruned run set is the same for every domain count.
+    Under [`Off] and [`Sleep] the outcome additionally equals the
+    sequential {!explore}'s byte for byte: the frontier expansion
+    replicates the sequential sleep evolution exactly, so the pruned run
+    set is the same for every domain count.  Under [`Source] each task
+    runs source-set DPOR over its own fresh demand slots and state cache
+    ([cache_capacity] entries), rooted at its subtree — domain-count
+    independent, hence still deterministic, but the task boundaries make
+    the explored subset (and so [runs]) potentially differ from the
+    sequential [`Source] search's; [exhausted] and violation-existence
+    always agree with it.
 
     [crash], [setup], [body] and [check] are called concurrently from
     multiple domains and must be domain-safe: no shared mutable state

@@ -1,0 +1,62 @@
+(* Bounded cache of fully-explored decision-tree nodes for the explorer's
+   `Source tier.
+
+   An entry records that the subtree below an engine state — identified by
+   its {!Engine.run} state key — was completely explored, together with the
+   pid sleep mask in force at that exploration and a caller-supplied summary
+   (the explorer stores the distinct step footprints the subtree executed).
+   A later visit to the same state may prune its whole subtree provided the
+   stored sleep mask is a subset of the current one (Godefroid's revisit
+   rule: the stored exploration slept {e less}, so it covered every schedule
+   the current context needs) — the summary then feeds the conservative race
+   demands the pruned subtree would have raised against the current prefix.
+
+   The table is direct-mapped with an explicit capacity: one entry per slot,
+   a colliding add overwrites (counted as an eviction).  Eviction and
+   bucketing-hash collisions only lose deduplication — a miss re-explores —
+   never soundness: a hit requires full key equality, compared element-wise
+   against the stored key.  The key itself contains digests (the store
+   fingerprint, per-process stream hashes), so equality is exact up to those
+   digests' collision probability; see SIMULATOR.md for the caveat. *)
+
+type 'a entry = { key : int array; slept : int; summary : 'a }
+
+type 'a t = {
+  slots : 'a entry option array;
+  hash : int array -> int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let default_hash key = Array.fold_left (fun h x -> (h lxor x) * 0x100000001b3 land max_int) 17 key
+
+let create ?(hash = default_hash) ~capacity () =
+  if capacity < 0 then invalid_arg "Statecache.create: negative capacity";
+  { slots = Array.make (max capacity 1) None; hash; hits = 0; misses = 0; evictions = 0 }
+
+let capacity t = Array.length t.slots
+
+let slot t key = abs (t.hash key mod Array.length t.slots)
+
+let find t ~key ~slept =
+  match t.slots.(slot t key) with
+  | Some e when e.key = key && e.slept land lnot slept = 0 ->
+      t.hits <- t.hits + 1;
+      Some e.summary
+  | Some _ | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let add t ~key ~slept ~summary =
+  let i = slot t key in
+  (match t.slots.(i) with
+  | Some e when e.key <> key -> t.evictions <- t.evictions + 1
+  | Some _ | None -> ());
+  t.slots.(i) <- Some { key; slept; summary }
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let evictions t = t.evictions

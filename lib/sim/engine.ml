@@ -71,6 +71,10 @@ type pstate = Start | Ready of status | Parked of parked | Woken of parked | Hal
    the pid. *)
 type journal = { jents : int Vec.t; jops : Crash.op_info Vec.t }
 
+(* FNV-style fold for the per-process answer-stream digests and the state
+   key.  Stays in [0, max_int] so the digests are portable ints. *)
+let hmix h x = (h lxor x) * 0x100000001b3 land max_int
+
 let jt_dispatch = 0 (* pid's body (re)started: ran to its first suspension *)
 
 let jt_crash = 1 (* pid's pending instruction discontinued by a crash *)
@@ -96,6 +100,11 @@ type t = {
   footprint_crashy : int -> bool;
   journal : journal option;  (* when checkpointing: the resolved-effect log *)
   log_ops : bool;  (* record [jops] (skipped for the stateless Crash.none) *)
+  (* Running digest of each process's journal stream (dispatches, answers,
+     crash discontinuations).  A process body is a deterministic function
+     of this stream, so equal digests mean equal control state — the
+     private half of {!state_key}. *)
+  ans_hash : int array;
   body : pid:int -> unit;
   states : pstate array;
   mutable step : int;
@@ -142,6 +151,8 @@ let handler : (unit, status) Effect.Deep.handler =
   }
 
 let jpush eng header value =
+  let pid = header lsr 3 in
+  eng.ans_hash.(pid) <- hmix (hmix eng.ans_hash.(pid) header) value;
   match eng.journal with
   | Some j ->
       Vec.push j.jents header;
@@ -517,6 +528,70 @@ let pending_footprint eng pid =
   | Woken p -> Footprint.waiting ~pid p.pcell
   | Ready Stopped | Parked _ | Halted -> assert false
 
+(* The state key behind the explorer's decision-node deduplication: a
+   compact int-array digest of everything that determines both the future
+   of the run (store contents and versions, cache validity, per-process
+   control state, the crash plan's observable cursor) and everything a
+   schedule-robust check can already observe about the prefix (completion,
+   crash and RMR aggregates, per-passage (super, rmr, completed) folds,
+   occupancy and CS maxima).  Two decision nodes with equal keys have
+   pointwise-identical continuations: every schedule from one has a twin
+   from the other with an equal end-of-run [result] as far as
+   schedule-robust checks go.  Deliberately excluded — matching the POR
+   contract that checks must not read them — are step counts, latencies,
+   [last_progress]/[last_sched] and the stall classification.
+
+   Control state rests on [ans_hash]: bodies are deterministic functions
+   of their journal stream, so the digest pins the pending instruction
+   (including a parked process's spin cell); the explicit tag settles
+   Ready/Parked/Woken, which engine bookkeeping decides outside the
+   stream.  A schedule-robust ([Crash.por_class] = [Robust]) plan's
+   internal cursor is likewise a function of the per-process op streams,
+   which the digests determine. *)
+let state_key eng =
+  let n = eng.n in
+  let nlocks = Array.length eng.occupancy in
+  let key = Array.make ((3 * n) + nlocks + 4) 0 in
+  key.(0) <- Memory.fingerprint eng.mem;
+  for p = 0 to n - 1 do
+    key.(1 + p) <- eng.ans_hash.(p);
+    let tag =
+      match eng.states.(p) with
+      | Start -> 0
+      | Ready _ -> 1
+      | Parked _ -> 2
+      | Woken _ -> 3
+      | Halted -> 4
+    in
+    key.(1 + n + p) <- tag lor (eng.op_index.(p) lsl 3);
+    let h = ref (hmix 0 eng.completed.(p)) in
+    h := hmix !h eng.crashes.(p);
+    h := hmix !h eng.level_max.(p);
+    h := hmix !h (Bool.to_int eng.in_passage.(p));
+    h := hmix !h (Bool.to_int eng.in_app_cs.(p));
+    h := hmix !h eng.passage_rmr.(p);
+    h := hmix !h eng.passage_super.(p);
+    List.iter (fun l -> h := hmix !h (l + 1)) eng.unsafe_open.(p);
+    h := hmix !h (-2);
+    List.iter (fun l -> h := hmix !h (l + 1)) eng.holding.(p);
+    h := hmix !h (-3);
+    Vec.iter
+      (fun (pa : passage) ->
+        h := hmix (hmix (hmix !h pa.super) pa.rmr) (Bool.to_int pa.completed))
+      eng.passages.(p);
+    key.(1 + (2 * n) + p) <- !h
+  done;
+  for l = 0 to nlocks - 1 do
+    key.(1 + (3 * n) + l) <-
+      hmix (hmix (hmix 0 eng.occupancy.(l)) eng.occupancy_max.(l)) eng.unsafe_crashes.(l)
+  done;
+  let h = ref (hmix 0 eng.total_rmr) in
+  Array.iter (fun v -> h := hmix !h v) eng.rmr_by_kind;
+  key.((3 * n) + nlocks + 1) <- !h;
+  key.((3 * n) + nlocks + 2) <- eng.global_cs;
+  key.((3 * n) + nlocks + 3) <- eng.global_cs_max;
+  key
+
 let runnable eng =
   let out = ref [] in
   for pid = eng.n - 1 downto 0 do
@@ -618,7 +693,8 @@ let finish eng =
    run, and the closures must not capture shared mutable state. *)
 let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_window
     ?(on_crash = fun ~pid:_ ~step:_ -> ()) ?(on_op = fun _ -> ()) ?footprints
-    ?(footprint_crashy = fun _ -> false) ~n ~model ~sched ~crash ~setup ~body () =
+    ?(footprint_crashy = fun _ -> false) ?(state_key_at = -1) ?(on_state_key = fun _ -> ()) ~n
+    ~model ~sched ~crash ~setup ~body () =
   let stall_window =
     match stall_window with Some w -> w | None -> max 1_000 (max_steps / 8)
   in
@@ -644,6 +720,7 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_w
       footprint_crashy;
       journal = None;
       log_ops = false;
+      ans_hash = Array.make n 0;
       body = (fun ~pid -> body shared ~pid);
       states = Array.make n Start;
       step = 0;
@@ -675,6 +752,7 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_w
       timed_out = false;
     }
   in
+  let dpos = ref 0 in
   let rec loop () =
     List.iter (crash_now eng) (Crash.async eng.crash ~step:eng.step);
     let ready = runnable eng in
@@ -693,6 +771,8 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_w
       (match eng.footprints with
       | None -> ()
       | Some buf -> Array.iter (fun p -> Vec.push buf (pending_footprint eng p)) ready);
+      if !dpos = state_key_at then on_state_key (state_key eng);
+      incr dpos;
       let pid = Sched.pick eng.sched ~runnable:ready ~step:eng.step in
       eng.last_sched.(pid) <- eng.step;
       step_process eng pid;
@@ -943,7 +1023,8 @@ type rrun = {
 
 let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(record = false)
     ?(max_steps = 5_000_000) ?stall_window ?(por = false) ?(footprint_crashy = fun _ -> false)
-    ~decisions ~n ~model ~crash ~setup ~body () =
+    ?(state_key_at = -1) ?(on_state_key = fun _ -> ()) ~decisions ~n ~model ~crash ~setup ~body
+    () =
   let stall_window =
     match stall_window with Some w -> w | None -> max 1_000 (max_steps / 8)
   in
@@ -973,6 +1054,7 @@ let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(recor
       footprint_crashy;
       journal = Some journal;
       log_ops = plan != Crash.none;
+      ans_hash = Array.make n 0;
       body = (fun ~pid -> body shared ~pid);
       states = Array.make n Start;
       step = 0;
@@ -1025,6 +1107,16 @@ let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(recor
         | Some dst, Some src -> Vec.blit_prefix src s.Snap.s_fplen dst
         | _ -> ());
         if eng.record then Vec.blit_prefix s.Snap.s_events s.Snap.s_evlen eng.events;
+        (* Rebuild the answer-stream digests from the seeded journal prefix
+           — the same folds [jpush] would have performed live. *)
+        let i = ref 0 in
+        while !i < s.Snap.s_jlen do
+          let header = Vec.unsafe_get journal.jents !i in
+          let value = Vec.unsafe_get journal.jents (!i + 1) in
+          let pid = header lsr 3 in
+          eng.ans_hash.(pid) <- hmix (hmix eng.ans_hash.(pid) header) value;
+          i := !i + 2
+        done;
         fast_forward eng journal s.Snap.s_jlen s.Snap.s_tags;
         Memory.restore mem s.Snap.s_mem;
         restore_counters eng s;
@@ -1068,6 +1160,7 @@ let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(recor
         snap (capture eng ~pos:!pos ~journal ~degrees);
         next_snap := !pos + snap_gap
       end;
+      if !pos = state_key_at then on_state_key (state_key eng);
       (* Trace pick, inlined: [runnable] builds the ready set in ascending
          pid order — the order {!Sched.trace} sorts into — so indexing it
          directly replays the same schedules the sequential explorer's

@@ -102,6 +102,8 @@ val run :
   ?on_op:(Crash.op_info -> unit) ->
   ?footprints:Footprint.t Vec.t ->
   ?footprint_crashy:(int -> bool) ->
+  ?state_key_at:int ->
+  ?on_state_key:(int array -> unit) ->
   n:int ->
   model:Memory.model ->
   sched:Sched.t ->
@@ -137,6 +139,17 @@ val run :
     [fun _ -> false]) marks pids whose steps the crash plan may strike
     (see {!Crash.por_class}); their footprints carry the crashy flag so
     crash teardown is treated as part of the step.
+
+    [state_key_at], when non-negative, makes the run call [on_state_key]
+    once, at decision position [state_key_at] (after that position's
+    asynchronous crashes and footprint pushes, before the scheduler
+    picks), with a compact digest of the whole engine state: store
+    contents/versions/cache rows, per-process control state (via the
+    journal-stream digests), and every aggregate statistic a
+    schedule-robust check can observe.  Equal keys mean the two decision
+    nodes have pointwise check-equivalent continuations — the explorer's
+    state cache dedups on it.  Step counts, latencies and the stall
+    classification are excluded, matching the POR contract.
 
     [run] is re-entrant and domain-safe: all engine state (store, fibers,
     statistics) is allocated per call, so independent runs may execute
@@ -193,6 +206,8 @@ val run_resumable :
   ?stall_window:int ->
   ?por:bool ->
   ?footprint_crashy:(int -> bool) ->
+  ?state_key_at:int ->
+  ?on_state_key:(int array -> unit) ->
   decisions:int array ->
   n:int ->
   model:Memory.model ->
@@ -225,7 +240,10 @@ val run_resumable :
       before its deviation position.
 
     [crash] is a thunk because resuming needs a fresh plan to wind
-    forward; it is called exactly once per [run_resumable] call.  The
+    forward; it is called exactly once per [run_resumable] call.
+    [state_key_at]/[on_state_key] behave as in {!run} (the digest is
+    identical whether the position was reached live or via a resume — the
+    journal-stream digests are rebuilt from the seeded prefix).  The
     hooks of {!run} ([on_op], [on_crash], [trace_ops]) are not available:
     fast-forward does not re-fire them.  Domain-safety matches {!run};
     snapshots may be captured in one domain and resumed in another, but

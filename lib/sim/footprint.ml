@@ -104,6 +104,123 @@ let independent a b =
   else if ca = cls_local || cb = cls_local then true
   else code a <> code b || (ca = cls_read && cb = cls_read)
 
+(* ------------------------------------------------------------------ *)
+(* Happens-before / race-reversal analysis                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Source-set computation for the explorer's dynamic partial-order
+   reduction.  [Race.scan] walks the executed steps of one complete run,
+   maintains a vector clock per process (the happens-before relation
+   induced by program order plus dependence between steps, with
+   {!independent} as the commutation oracle), and reports every
+   {e reversible race}: a pair of dependent steps (k, j), k < j, of
+   different processes with no intervening happens-before chain — exactly
+   the pairs whose order the run committed to without being forced to.
+   For each race at a branching decision position it emits the process the
+   explorer must additionally schedule at [k] to cover the reversal: the
+   first step after [k] that is not happens-after step [k] (an initial of
+   the independent prefix of the reversal, in DPOR terms), defaulting to
+   the racing step's own process when every intermediate step is ordered.
+
+   Every "maybe dependent" in the footprint encoding errs towards
+   reporting a race, which costs the explorer extra schedules but never
+   coverage. *)
+module Race = struct
+  (* [scan ~n ~len ~executed ~degree ~emit]:
+     [executed i] is the footprint of the step the run took at decision
+     position [i]; [degree i] its branching degree (races at degree-1
+     positions have no alternative schedule and are not emitted);
+     [emit ~pos ~pid] demands that the explorer also try scheduling [pid]
+     at position [pos].  O(len * n) plus the race-initial walks. *)
+  let scan ~n ~len ~executed ~degree ~emit =
+    if len > 0 then begin
+      (* eclock.(j*n + q): highest position of a step of process [q] that
+         happens-before (or is) step [j]; -1 if none. *)
+      let eclock = Array.make (len * n) (-1) in
+      (* cur.(p*n + q): the same clock carried forward along process [p]'s
+         program order. *)
+      let cur = Array.make (n * n) (-1) in
+      (* positions of each process's steps so far, in order *)
+      let evs = Array.init n (fun _ -> Vec.create ()) in
+      let v = Array.make n (-1) in
+      (* race candidates of one step: at most one per other process *)
+      let cand_pos = Array.make n (-1) in
+      for j = 0 to len - 1 do
+        let f = executed j in
+        let p = pid f in
+        Array.blit cur (p * n) v 0 n;
+        v.(p) <- j;
+        if cls f <> cls_local then begin
+          (* Last dependent step of every other process, ignoring steps
+             already inside this step's happens-before past. *)
+          for q = 0 to n - 1 do
+            cand_pos.(q) <- -1;
+            if q <> p then begin
+              let qevs = evs.(q) in
+              let i = ref (Vec.length qevs - 1) in
+              let stop = ref false in
+              while (not !stop) && !i >= 0 do
+                let k = Vec.unsafe_get qevs !i in
+                if k <= v.(q) then stop := true
+                else if not (independent (executed k) f) then begin
+                  cand_pos.(q) <- k;
+                  stop := true
+                end
+                else decr i
+              done
+            end
+          done;
+          (* Process candidates latest-first so merging the clock of a
+             later dependent step can reveal that an earlier candidate is
+             already ordered (fewer false races). *)
+          let continue_ = ref true in
+          while !continue_ do
+            let best = ref (-1) in
+            for q = 0 to n - 1 do
+              if cand_pos.(q) > !best then best := cand_pos.(q)
+            done;
+            if !best < 0 then continue_ := false
+            else begin
+              let k = !best in
+              let fk = executed k in
+              let q = pid fk in
+              cand_pos.(q) <- -1;
+              if k > v.(q) then begin
+                (* Reversible race between steps k and j. *)
+                (if degree k > 1 then
+                   (* Initial of the reversal: first step after [k] not
+                      happens-after step [k]; [eclock.(m*n+q) >= k] iff a
+                      step of q at or past [k] happens-before step [m]. *)
+                   let rec find m =
+                     if m >= j then p
+                     else if eclock.((m * n) + q) < k then pid (executed m)
+                     else find (m + 1)
+                   in
+                   emit ~pos:k ~pid:(find (k + 1)));
+                (* Dependence orders k before j for later steps. *)
+                for r = 0 to n - 1 do
+                  let x = eclock.((k * n) + r) in
+                  if x > v.(r) then v.(r) <- x
+                done;
+                if k > v.(q) then v.(q) <- k
+              end
+              else begin
+                (* Already ordered; still merge to tighten the clock. *)
+                for r = 0 to n - 1 do
+                  let x = eclock.((k * n) + r) in
+                  if x > v.(r) then v.(r) <- x
+                done
+              end
+            end
+          done
+        end;
+        Array.blit v 0 eclock (j * n) n;
+        Array.blit v 0 cur (p * n) n;
+        Vec.push evs.(p) j
+      done
+    end
+end
+
 let pp ppf t =
   let k = match cls t with 0 -> "local" | 1 -> "read" | 2 -> "write" | _ -> "global" in
   let loc =

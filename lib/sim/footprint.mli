@@ -38,3 +38,29 @@ val independent : t -> t -> bool
     ([cs_max], lock occupancy). *)
 
 val pp : t Fmt.t
+
+(** Happens-before / race-reversal analysis over the executed steps of one
+    complete run — the oracle behind the explorer's source-set dynamic
+    partial-order reduction (see {!Rme_check.Explore}). *)
+module Race : sig
+  val scan :
+    n:int ->
+    len:int ->
+    executed:(int -> t) ->
+    degree:(int -> int) ->
+    emit:(pos:int -> pid:int -> unit) ->
+    unit
+  (** [scan ~n ~len ~executed ~degree ~emit] computes the happens-before
+      relation of a run of [len] decision positions ([executed i] is the
+      footprint of the step taken at position [i]) with per-process vector
+      clocks, finds every {e reversible race} — dependent steps [(k, j)],
+      [k < j], of different processes with no intervening happens-before
+      chain — and calls [emit ~pos:k ~pid] for each race at a branching
+      position ([degree k > 1]).  [pid] is the process whose scheduling at
+      [k] starts the reversed execution: the process of the first step
+      after [k] that is not happens-after step [k] (an initial of the
+      reversal, in DPOR terms), defaulting to the racing step's process.
+      The dependence oracle is {!independent}, so every conservative
+      "dependent" answer can only add emitted demands, never hide one.
+      O([len] · [n]) plus the per-race initial walks. *)
+end

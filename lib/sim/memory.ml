@@ -166,6 +166,28 @@ let restore t img =
       (match img.i_cached.(c) with Some r -> Some (Array.copy r) | None -> None)
   done
 
+(* One-word digest of everything [snapshot] would copy: cell contents,
+   write versions, and the per-process cache validity rows.  Two stores
+   with equal fingerprints are equal for the explorer's purposes with the
+   usual hash-collision caveat — callers that need certainty (the state
+   cache) must pair the fingerprint with enough engine state that a
+   collision can only cost duplicated work, never a verdict. *)
+let fingerprint t =
+  let mix h x = (h lxor x) * 0x100000001b3 land max_int in
+  let h = ref (mix 0x2545f4914f6cdd1d t.n) in
+  let len = Vec.length t.contents in
+  for c = 0 to len - 1 do
+    h := mix !h (Vec.get t.contents c);
+    h := mix !h (Vec.get t.version c);
+    match Vec.get t.cached c with
+    | None -> h := mix !h 0x9e3779b9
+    | Some r ->
+        for p = 0 to t.n - 1 do
+          h := mix !h r.(p)
+        done
+  done;
+  !h
+
 let faa t ~pid (c : Cell.t) d =
   check_pid t pid;
   let old = Vec.get t.contents c.id in

@@ -68,6 +68,14 @@ val restore : t -> image -> unit
     replaying the deterministic allocation history before restoring.
     @raise Invalid_argument when the cell counts differ. *)
 
+val fingerprint : t -> int
+(** [fingerprint t] is a one-word digest of everything {!snapshot} would
+    copy: contents, write versions and cache validity rows.  Equal stores
+    have equal fingerprints; the converse holds only up to hash collisions,
+    so callers deduplicating on it (the explorer's state cache) must ensure
+    a collision can only cost duplicated work, never a verdict.
+    O(cells · n), no allocation. *)
+
 (** {1 Accounted operations}
 
     Each returns [(result, rmrs)] where [rmrs] ∈ {0, 1}. *)

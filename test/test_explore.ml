@@ -11,6 +11,8 @@ let cb = Alcotest.bool
 
 let ci = Alcotest.int
 
+let tier_name = function `Off -> "off" | `Sleep -> "sleep" | `Source -> "source"
+
 (* A deliberately broken 2-process mutex: test-and-test-and-set with a
    non-atomic check-then-write — the classic race.  Raw closures (no
    instrumentation) keep the schedule tree small enough to exhaust. *)
@@ -124,7 +126,7 @@ let test_exhaustive_small_program () =
       ~check:(fun _ -> None)
       ()
   in
-  let plain = explore false in
+  let plain = explore `Off in
   check cb "exhausted" true plain.Explore.exhausted;
   check cb
     (Printf.sprintf "several interleavings (%d)" plain.Explore.runs)
@@ -133,12 +135,18 @@ let test_exhaustive_small_program () =
   (* The same tree under POR: the note/dispatch steps are local and get
      slept away, but the same-cell writes stay dependent — the search
      still exhausts, with strictly fewer runs. *)
-  let por = explore true in
+  let por = explore `Sleep in
   check cb "por exhausted" true por.Explore.exhausted;
   check cb
     (Printf.sprintf "por prunes (%d < %d)" por.Explore.runs plain.Explore.runs)
     true
-    (por.Explore.runs < plain.Explore.runs)
+    (por.Explore.runs < plain.Explore.runs);
+  let src = explore `Source in
+  check cb "source exhausted" true src.Explore.exhausted;
+  check cb
+    (Printf.sprintf "source never exceeds sleep (%d <= %d)" src.Explore.runs por.Explore.runs)
+    true
+    (src.Explore.runs <= por.Explore.runs)
 
 let test_truncation_not_exhausted () =
   (* A correct lock under a tiny run budget: the search must report the
@@ -257,12 +265,12 @@ let test_parallel_clean_tree_identical () =
   let seq =
     run
       (Explore.explore ~max_runs:5_000 ?max_steps:None ?shrink_violations:None ?record:None
-         ?por:None)
+         ?por:None ?statecache:None ?cache_capacity:None)
   in
   let par =
     run
       (Explore.explore_parallel ~max_runs:5_000 ~domains:4 ?max_steps:None ?split_depth:None
-         ?snap_gap:None ?shrink_violations:None ?record:None ?por:None)
+         ?snap_gap:None ?shrink_violations:None ?record:None ?por:None ?cache_capacity:None)
   in
   check cb "exhausted" true seq.Explore.exhausted;
   check cb "identical outcomes" true (seq = par)
@@ -313,19 +321,39 @@ let assert_identical tag (seq : Explore.outcome) (par : Explore.outcome) =
   check cb (tag ^ ": violation (incl. shrunk witness)") true
     (par.Explore.violation = seq.Explore.violation)
 
+(* Under `Off and `Sleep the parallel outcome is byte-identical to the
+   sequential one; under `Source each task roots its own reduction, so the
+   guarantee is domain-count identity — the reference is the 1-domain run
+   (re-verified against the sequential verdict where the budget is ample). *)
+let source_reference ~explore_case ~seq ~ample =
+  let p1 = explore_case 1 in
+  if ample then begin
+    check cb "source parallel matches sequential verdict" true
+      (p1.Explore.exhausted = seq.Explore.exhausted
+      && p1.Explore.violation = seq.Explore.violation)
+  end;
+  p1
+
 let test_differential_clean_tree () =
   List.iter
     (fun por ->
       let seq = explore_small ~por ~max_runs:5_000 ~domains:0 in
       check cb "exhausted" true seq.Explore.exhausted;
+      let reference =
+        match por with
+        | `Source ->
+            source_reference ~seq ~ample:true
+              ~explore_case:(fun domains -> explore_small ~por ~max_runs:5_000 ~domains)
+        | `Off | `Sleep -> seq
+      in
       List.iter
         (fun domains ->
           assert_identical
-            (Printf.sprintf "small por=%b d=%d" por domains)
-            seq
+            (Printf.sprintf "small por=%s d=%d" (tier_name por) domains)
+            reference
             (explore_small ~por ~max_runs:5_000 ~domains))
         [ 1; 2; 4 ])
-    [ false; true ]
+    [ `Off; `Sleep; `Source ]
 
 let test_differential_truncated_budgets () =
   (* Regression for the nondeterministic-truncation bug: the old frontier
@@ -338,15 +366,22 @@ let test_differential_truncated_budgets () =
       List.iter
         (fun max_runs ->
           let seq = explore_small ~por ~max_runs ~domains:0 in
+          let reference =
+            match por with
+            | `Source ->
+                source_reference ~seq ~ample:false
+                  ~explore_case:(fun domains -> explore_small ~por ~max_runs ~domains)
+            | `Off | `Sleep -> seq
+          in
           List.iter
             (fun domains ->
               assert_identical
-                (Printf.sprintf "small por=%b max_runs=%d d=%d" por max_runs domains)
-                seq
+                (Printf.sprintf "small por=%s max_runs=%d d=%d" (tier_name por) max_runs domains)
+                reference
                 (explore_small ~por ~max_runs ~domains))
             [ 1; 2; 4 ])
         [ 1; 2; 3; 7; 40 ])
-    [ false; true ]
+    [ `Off; `Sleep; `Source ]
 
 let test_differential_violation_crash_plan () =
   (* Robust crash plan, real violation on the DFS spine (the WR FAS gap):
@@ -358,15 +393,22 @@ let test_differential_violation_crash_plan () =
       List.iter
         (fun max_runs ->
           let seq = explore_wr_gap ~por ~max_runs ~domains:0 in
+          let reference =
+            match por with
+            | `Source ->
+                source_reference ~seq ~ample:false
+                  ~explore_case:(fun domains -> explore_wr_gap ~por ~max_runs ~domains)
+            | `Off | `Sleep -> seq
+          in
           List.iter
             (fun domains ->
               assert_identical
-                (Printf.sprintf "wr-gap por=%b max_runs=%d d=%d" por max_runs domains)
-                seq
+                (Printf.sprintf "wr-gap por=%s max_runs=%d d=%d" (tier_name por) max_runs domains)
+                reference
                 (explore_wr_gap ~por ~max_runs ~domains))
             [ 1; 2; 4 ])
         [ 600; 20_000 ])
-    [ false; true ]
+    [ `Off; `Sleep; `Source ]
 
 (* --- sleep-set POR equivalence ------------------------------------- *)
 
@@ -415,8 +457,8 @@ let explore_splitter ?(domains = 0) ~por ~crash () =
 
 let test_por_splitter_equivalence () =
   let no_crash () = Crash.none in
-  let plain = explore_splitter ~por:false ~crash:no_crash () in
-  let por = explore_splitter ~por:true ~crash:no_crash () in
+  let plain = explore_splitter ~por:`Off ~crash:no_crash () in
+  let por = explore_splitter ~por:`Sleep ~crash:no_crash () in
   check cb "plain exhausts the splitter tree" true plain.Explore.exhausted;
   check cb "no violation" true (plain.Explore.violation = None);
   equal_outcomes "splitter" plain por;
@@ -430,11 +472,11 @@ let test_por_parallel_byte_identical () =
      outcomes for 1, 2 and 4 domains (and the sequential search) on a
      clean exhaustive tree. *)
   let no_crash () = Crash.none in
-  let seq = explore_splitter ~por:true ~crash:no_crash () in
+  let seq = explore_splitter ~por:`Sleep ~crash:no_crash () in
   check cb "exhausted" true seq.Explore.exhausted;
   List.iter
     (fun domains ->
-      let par = explore_splitter ~domains ~por:true ~crash:no_crash () in
+      let par = explore_splitter ~domains ~por:`Sleep ~crash:no_crash () in
       check cb (Printf.sprintf "%d domains byte-identical" domains) true (par = seq))
     [ 1; 2; 4 ]
 
@@ -443,8 +485,8 @@ let test_por_wr_gap_equivalence () =
     Explore.explore ~por ~max_runs:20_000 ~max_steps:4_000 ~n:3 ~model:Memory.CC
       ~crash:wr_gap_crash ~setup:wr_gap_setup ~body:wr_gap_body ~check:wr_gap_check ()
   in
-  let plain = run false in
-  let por = run true in
+  let plain = run `Off in
+  let por = run `Sleep in
   check cb "plain finds the FAS-gap violation" true (plain.Explore.violation <> None);
   equal_outcomes "wr-gap" plain por
 
@@ -491,8 +533,8 @@ let test_por_sa0_equivalence () =
     Explore.explore ~por ~max_runs:20_000 ~max_steps:6_000 ~n:3 ~model:Memory.CC ~crash:sa0_crash
       ~setup:sa0_setup ~body:sa0_body ~check:sa0_check ()
   in
-  let plain = run false in
-  let por = run true in
+  let plain = run `Off in
+  let por = run `Sleep in
   (match plain.Explore.violation with
   | Some ("filter overlap", _) -> ()
   | Some (msg, _) -> Alcotest.failf "unexpected violation %S" msg
@@ -511,10 +553,10 @@ let test_por_exhausts_wr_tree () =
       ~body:(fun lock ~pid -> Harness.standard_body ~lock ~requests:1 pid)
       ~check:wr_gap_check ()
   in
-  let por = run ~por:true ~max_runs:100_000 in
+  let por = run ~por:`Sleep ~max_runs:100_000 in
   check cb "por exhausts wr n=2" true por.Explore.exhausted;
   check cb "no violation" true (por.Explore.violation = None);
-  let plain = run ~por:false ~max_runs:(4 * por.Explore.runs) in
+  let plain = run ~por:`Off ~max_runs:(4 * por.Explore.runs) in
   check cb "plain exceeds 4x the por count without exhausting" false plain.Explore.exhausted;
   check cb "plain found no violation either" true (plain.Explore.violation = None)
 
@@ -532,10 +574,321 @@ let test_por_differential_sweep () =
       Printf.sprintf "case %d (pid %d, op %d, %s)" case pid nth
         (match point with Crash.Before -> "before" | Crash.After -> "after")
     in
-    let plain = explore_splitter ~por:false ~crash () in
-    let por = explore_splitter ~por:true ~crash () in
+    let plain = explore_splitter ~por:`Off ~crash () in
+    let por = explore_splitter ~por:`Sleep ~crash () in
     equal_outcomes name plain por
   done
+
+(* --- source-set DPOR: differential battery -------------------------- *)
+
+(* Satellite battery for the three-tier explorer: every case runs `Off,
+   `Sleep and `Source over the same subject and asserts the identical
+   verdict — same [exhausted], same [violation] including the shrunk
+   witness — with monotonically non-increasing run counts
+   (off >= sleep >= source).  Cases marked [dpar] additionally check
+   1/2/4-domain byte-identity under `Source (the parallel determinism
+   guarantee) and that the parallel verdict matches the sequential one.
+   Subjects span the four families (wr / sa / bakery / splitter), robust
+   crash plans, seeded violations and truncating budgets. *)
+
+type dpor_case = {
+  dname : string;
+  drun : por:[ `Off | `Sleep | `Source ] -> domains:int -> Explore.outcome;
+  dpar : bool;
+  dmono : bool;
+      (* assert sleep >= source runs: holds on crash-free subjects; under a
+         crash plan a race reversal can name a crashed pid, and the
+         resulting demand-all fallback explores with weaker sleep sets
+         than `Sleep's strict left-to-right order — sound, sometimes
+         larger. *)
+}
+
+let splitter_battery ~crash () ~por ~domains = explore_splitter ~domains ~por ~crash ()
+
+let splitter_trunc ~max_runs ~por ~domains =
+  if domains = 0 then
+    Explore.explore ~por ~max_runs ~max_steps:4_000 ~n:2 ~model:Memory.CC
+      ~crash:(fun () -> Crash.none)
+      ~setup:splitter_setup ~body:splitter_body ~check:me_or_deadlock ()
+  else
+    Explore.explore_parallel ~por ~domains ~max_runs ~max_steps:4_000 ~n:2 ~model:Memory.CC
+      ~crash:(fun () -> Crash.none)
+      ~setup:splitter_setup ~body:splitter_body ~check:me_or_deadlock ()
+
+let lock_battery ~make ~body ~max_runs ~max_steps ~por ~domains =
+  if domains = 0 then
+    Explore.explore ~por ~max_runs ~max_steps ~n:2 ~model:Memory.CC
+      ~crash:(fun () -> Crash.none)
+      ~setup:make ~body ~check:me_or_deadlock ()
+  else
+    Explore.explore_parallel ~por ~domains ~max_runs ~max_steps ~n:2 ~model:Memory.CC
+      ~crash:(fun () -> Crash.none)
+      ~setup:make ~body ~check:me_or_deadlock ()
+
+let sa0_battery ~max_runs ~por ~domains =
+  if domains = 0 then
+    Explore.explore ~por ~max_runs ~max_steps:6_000 ~n:3 ~model:Memory.CC ~crash:sa0_crash
+      ~setup:sa0_setup ~body:sa0_body ~check:sa0_check ()
+  else
+    Explore.explore_parallel ~por ~domains ~max_runs ~max_steps:6_000 ~n:3 ~model:Memory.CC
+      ~crash:sa0_crash ~setup:sa0_setup ~body:sa0_body ~check:sa0_check ()
+
+let sa_me_make = lazy (Rme.Spec.find_exn "sa-jjj").Rme.Spec.make
+
+let standard_one lock ~pid = Harness.standard_body ~lock ~requests:1 pid
+
+let dpor_battery_cases =
+  (* Seeded robust crash plans, same generator family as the por sweep. *)
+  let rng = Random.State.make [| 0x50dc; 7 |] in
+  let seeded_crash () =
+    let pid = Random.State.int rng 2 in
+    let nth = Random.State.int rng 8 in
+    let point = if Random.State.bool rng then Crash.Before else Crash.After in
+    ( Printf.sprintf "pid %d op %d %s" pid nth
+        (match point with Crash.Before -> "before" | Crash.After -> "after"),
+      fun () -> Crash.at_op ~pid ~nth point )
+  in
+  let crash_cases =
+    List.init 4 (fun i ->
+        let desc, crash = seeded_crash () in
+        {
+          dname = Printf.sprintf "splitter crash #%d (%s)" (i + 1) desc;
+          drun = (fun ~por ~domains -> splitter_battery ~crash () ~por ~domains);
+          dpar = false;
+          dmono = false;
+        })
+  in
+  [
+    {
+      dname = "splitter clean exhaustive";
+      drun = (fun ~por ~domains -> splitter_battery ~crash:(fun () -> Crash.none) () ~por ~domains);
+      dpar = true;
+      dmono = true;
+    };
+  ]
+  @ crash_cases
+  @ [
+      {
+        dname = "splitter clean truncated at 20";
+        drun = splitter_trunc ~max_runs:20;
+        dpar = true;
+        dmono = true;
+      };
+      {
+        dname = "racy mutex seeded violation";
+        drun = lock_battery ~make:broken_mutex ~body:tiny_body ~max_runs:50_000 ~max_steps:20_000;
+        dpar = true;
+        dmono = true;
+      };
+      {
+        dname = "wr FAS-gap violation (n=3, robust crash)";
+        drun = (fun ~por ~domains -> explore_wr_gap ~por ~max_runs:20_000 ~domains);
+        dpar = true;
+        dmono = false;
+      };
+      {
+        dname = "sa level-0 filter overlap (n=3, robust crash)";
+        drun = sa0_battery ~max_runs:20_000;
+        dpar = false;
+        dmono = false;
+      };
+      {
+        dname = "wr ME n=2 truncated at 300";
+        drun =
+          (fun ~por ~domains ->
+            lock_battery ~make:Wr_lock.make ~body:standard_one ~max_runs:300 ~max_steps:4_000 ~por
+              ~domains);
+        dpar = false;
+        dmono = true;
+      };
+      {
+        dname = "sa ME n=2 truncated at 1000";
+        drun =
+          (fun ~por ~domains ->
+            lock_battery ~make:(Lazy.force sa_me_make) ~body:standard_one ~max_runs:1_000
+              ~max_steps:20_000 ~por ~domains);
+        dpar = false;
+        dmono = true;
+      };
+      {
+        dname = "bakery truncated at 200";
+        drun = lock_battery ~make:Bakery.make ~body:tiny_body ~max_runs:200 ~max_steps:4_000;
+        dpar = false;
+        dmono = true;
+      };
+      {
+        dname = "arbitrator truncated at 200";
+        drun =
+          lock_battery
+            ~make:(fun ctx -> Arbitrator.as_two_process_lock (Arbitrator.create ctx) ~n:2)
+            ~body:tiny_body ~max_runs:200 ~max_steps:4_000;
+        dpar = false;
+        dmono = true;
+      };
+    ]
+
+let run_dpor_case { dname; drun; dpar; dmono } =
+  let off = drun ~por:`Off ~domains:0 in
+  let sleep = drun ~por:`Sleep ~domains:0 in
+  let source = drun ~por:`Source ~domains:0 in
+  check cb (dname ^ ": sleep/off identical exhausted") true
+    (sleep.Explore.exhausted = off.Explore.exhausted);
+  check cb (dname ^ ": source/off identical exhausted") true
+    (source.Explore.exhausted = off.Explore.exhausted);
+  check cb
+    (dname ^ ": sleep/off identical violation (incl. shrunk witness)")
+    true
+    (sleep.Explore.violation = off.Explore.violation);
+  (* `Source guarantees the identical answer to "does a violation exist"
+     (same message) but its demand-driven order may surface a different
+     witness of the same failure; shrinking usually — not always —
+     re-converges them (see explore.mli). *)
+  (match (off.Explore.violation, source.Explore.violation) with
+  | None, None -> ()
+  | Some (m, _), Some (m', _) ->
+      check cb (dname ^ ": source violation message matches off") true (m = m')
+  | Some _, None | None, Some _ ->
+      check cb (dname ^ ": source agrees on violation existence") true false);
+  check cb
+    (Printf.sprintf "%s: sleep never exceeds off (%d >= %d)" dname off.Explore.runs
+       sleep.Explore.runs)
+    true
+    (off.Explore.runs >= sleep.Explore.runs);
+  (* Run counts are monotone off >= sleep >= source on every search that
+     does not stop early: a violating search stops at the first witness,
+     and `Source's demand-driven exploration order can reach the (same)
+     violation later than `Sleep's strict preorder. *)
+  if dmono && off.Explore.violation = None then
+    check cb
+      (Printf.sprintf "%s: source never exceeds sleep (%d >= %d)" dname sleep.Explore.runs
+         source.Explore.runs)
+      true
+      (sleep.Explore.runs >= source.Explore.runs);
+  if dpar then begin
+    (* Domain-count byte-identity under `Source, and the parallel verdict
+       must agree with the sequential one (run counts may differ: the
+       parallel search roots its reduction at each subtree task). *)
+    let p1 = drun ~por:`Source ~domains:1 in
+    check cb (dname ^ ": source parallel verdict matches sequential") true
+      (p1.Explore.exhausted = source.Explore.exhausted
+      &&
+      match (p1.Explore.violation, source.Explore.violation) with
+      | None, None -> true
+      | Some (m, _), Some (m', _) -> m = m'
+      | Some _, None | None, Some _ -> false);
+    List.iter
+      (fun domains ->
+        let par = drun ~por:`Source ~domains in
+        check cb
+          (Printf.sprintf "%s: source %d domains byte-identical" dname domains)
+          true (par = p1))
+      [ 2; 4 ]
+  end
+
+let test_dpor_battery () = List.iter run_dpor_case dpor_battery_cases
+
+(* --- state cache: unit + adversarial collisions ---------------------- *)
+
+let test_statecache_unit () =
+  let c = Statecache.create ~capacity:8 () in
+  let k = [| 1; 2; 3 |] in
+  check cb "miss on empty" true (Statecache.find c ~key:k ~slept:0 = None);
+  Statecache.add c ~key:k ~slept:0b01 ~summary:"s";
+  (* Godefroid subset rule: a hit is only sound when the stored sleep mask
+     is a subset of the current one. *)
+  check cb "hit when stored mask is a subset" true
+    (Statecache.find c ~key:k ~slept:0b11 = Some "s");
+  check cb "hit on the exact mask" true (Statecache.find c ~key:k ~slept:0b01 = Some "s");
+  check cb "no hit when the stored mask exceeds" true
+    (Statecache.find c ~key:k ~slept:0b10 = None);
+  check cb "keys compared structurally" true
+    (Statecache.find c ~key:[| 1; 2; 4 |] ~slept:0b11 = None);
+  check ci "hits counted" 2 (Statecache.hits c);
+  check cb "misses counted" true (Statecache.misses c >= 3);
+  (* Direct-mapped eviction: a colliding hash overwrites and counts. *)
+  let e = Statecache.create ~hash:(fun _ -> 0) ~capacity:2 () in
+  Statecache.add e ~key:[| 1 |] ~slept:0 ~summary:"a";
+  check ci "first add evicts nothing" 0 (Statecache.evictions e);
+  Statecache.add e ~key:[| 2 |] ~slept:0 ~summary:"b";
+  check ci "colliding add evicts" 1 (Statecache.evictions e);
+  Statecache.add e ~key:[| 2 |] ~slept:1 ~summary:"b'";
+  check ci "same-key overwrite is not an eviction" 1 (Statecache.evictions e);
+  check cb "overwrite visible" true (Statecache.find e ~key:[| 2 |] ~slept:1 = Some "b'")
+
+let test_statecache_adversarial () =
+  (* A deliberately hostile cache — one effective slot via a constant hash
+     — must only cost pruning power, never change the verdict.  Compare a
+     clean exhaustive Source search with caching off, with the default
+     cache, and with the tiny colliding cache. *)
+  let run ?statecache ?cache_capacity () =
+    Explore.explore ?statecache ?cache_capacity ~por:`Source ~max_runs:200_000 ~max_steps:4_000
+      ~n:2 ~model:Memory.CC
+      ~crash:(fun () -> Crash.none)
+      ~setup:splitter_setup ~body:splitter_body ~check:me_or_deadlock ()
+  in
+  let uncached = run ~cache_capacity:0 () in
+  let default = run () in
+  let tiny = Statecache.create ~hash:(fun _ -> 0) ~capacity:4 () in
+  let collided = run ~statecache:tiny () in
+  check cb "uncached exhausts" true uncached.Explore.exhausted;
+  check cb "default-cache verdict identical" true
+    (default.Explore.exhausted = uncached.Explore.exhausted
+    && default.Explore.violation = uncached.Explore.violation);
+  check cb "collided verdict identical" true
+    (collided.Explore.exhausted = uncached.Explore.exhausted
+    && collided.Explore.violation = uncached.Explore.violation);
+  check cb
+    (Printf.sprintf "collisions only lose pruning (%d <= %d <= %d)" default.Explore.runs
+       collided.Explore.runs uncached.Explore.runs)
+    true
+    (default.Explore.runs <= collided.Explore.runs
+    && collided.Explore.runs <= uncached.Explore.runs);
+  (* Pin the eviction counter: with one effective slot every add over a
+     different key evicts, so the counter must sit strictly between zero
+     (cache silently unused) and the miss count (each eviction follows a
+     missed lookup on a fresh key).  Hits stay at zero here — each fresh
+     state evicts the previous one before the search can ever revisit it,
+     which is exactly the worst case this test exists to exercise. *)
+  check cb
+    (Printf.sprintf "forced collisions evict (evictions=%d, hits=%d, misses=%d)"
+       (Statecache.evictions tiny) (Statecache.hits tiny) (Statecache.misses tiny))
+    true
+    (Statecache.evictions tiny > 0
+    && Statecache.evictions tiny <= Statecache.misses tiny)
+
+(* --- source-set regression pins -------------------------------------- *)
+
+let test_source_exhausts_sa_wr_trees () =
+  (* Budgets pinned from measured run counts (sa: 18_887, wr: 2_037);
+     blowing past them means the reduction regressed. *)
+  let sa =
+    Explore.explore ~por:`Source ~max_runs:25_000 ~max_steps:20_000 ~n:2 ~model:Memory.CC
+      ~crash:(fun () -> Crash.none)
+      ~setup:(Lazy.force sa_me_make) ~body:standard_one ~check:me_or_deadlock ()
+  in
+  check cb
+    (Printf.sprintf "source exhausts sa ME n=2 within 25k (%d runs)" sa.Explore.runs)
+    true sa.Explore.exhausted;
+  check cb "sa clean" true (sa.Explore.violation = None);
+  let wr =
+    Explore.explore ~por:`Source ~max_runs:3_000 ~max_steps:4_000 ~n:2 ~model:Memory.CC
+      ~crash:(fun () -> Crash.none)
+      ~setup:Wr_lock.make ~body:standard_one ~check:me_or_deadlock ()
+  in
+  check cb
+    (Printf.sprintf "source exhausts wr ME n=2 within 3k (%d runs)" wr.Explore.runs)
+    true wr.Explore.exhausted;
+  check cb "wr clean" true (wr.Explore.violation = None)
+
+let test_source_splitter_reduction_floor () =
+  let plain = explore_splitter ~por:`Off ~crash:(fun () -> Crash.none) () in
+  let source = explore_splitter ~por:`Source ~crash:(fun () -> Crash.none) () in
+  check cb "both exhaust" true (plain.Explore.exhausted && source.Explore.exhausted);
+  check cb
+    (Printf.sprintf "splitter reduction >= 91x (%d vs %d)" plain.Explore.runs
+       source.Explore.runs)
+    true
+    (plain.Explore.runs >= 91 * source.Explore.runs)
 
 let () =
   Alcotest.run "explore"
@@ -574,6 +927,20 @@ let () =
         [
           Alcotest.test_case "unit" `Quick test_shrink_unit;
           Alcotest.test_case "non-reproducing input" `Quick test_shrink_keeps_nonreproducing_input;
+        ] );
+      ( "dpor battery",
+        [ Alcotest.test_case "three-tier differential battery" `Quick test_dpor_battery ] );
+      ( "statecache",
+        [
+          Alcotest.test_case "unit: subset rule and eviction" `Quick test_statecache_unit;
+          Alcotest.test_case "adversarial collisions" `Quick test_statecache_adversarial;
+        ] );
+      ( "source pins",
+        [
+          Alcotest.test_case "sa/wr n=2 exhaust within budget" `Quick
+            test_source_exhausts_sa_wr_trees;
+          Alcotest.test_case "splitter reduction floor" `Quick
+            test_source_splitter_reduction_floor;
         ] );
       ( "por",
         [
