@@ -1169,6 +1169,105 @@ let chaos_bench () =
   Fmt.pr "@.(json: %s)@." path
 
 (* ------------------------------------------------------------------ *)
+(* System-crash shootout: storm adversaries under both crash models     *)
+(* ------------------------------------------------------------------ *)
+
+let syscrash_bench () =
+  Fmt.pr "@.=== Syscrash: lock x crash-model storm shootout ===@.@.";
+  let module Chaos = Rme_check.Chaos in
+  let runs = 40 in
+  let cfg = Chaos.default_cfg in
+  let case_of key =
+    let spec : Rme.Spec.t = Rme.Spec.find_exn key in
+    {
+      Chaos.case_name = key;
+      case_make = spec.make;
+      case_weak = spec.expectation.Rme.Spec.recoverability = `Weak;
+      case_ff_bound = None;
+    }
+  in
+  (* Matched storm profiles: same burst shape, one striking individual
+     processes, the other the whole system. *)
+  let adversaries =
+    [
+      ("per-process", Chaos.Storm { rate = 0.02; max_crashes = 6; gap = 40; backoff = 1.5 }, 6);
+      ("system-wide", Chaos.Sys_storm { rate = 0.01; max_crashes = 4; gap = 60; backoff = 1.5 }, 4);
+    ]
+  in
+  let cases =
+    List.concat_map
+      (fun key ->
+        let case = case_of key in
+        List.map
+          (fun (model_name, adv, budget) ->
+            let t0 = Unix.gettimeofday () in
+            let crashes = ref 0 and exhausted = ref 0 and violations = ref 0 in
+            let detect_steps = ref 0 and detect_runs = ref 0 in
+            for seed = 0 to runs - 1 do
+              let r = Chaos.run_one cfg ~make:case.Chaos.case_make ~adversary:adv ~seed in
+              let fired = List.length r.Chaos.fired in
+              crashes := !crashes + fired;
+              (* runs-to-exhaustion: how often the storm's whole crash
+                 budget landed inside one run's horizon *)
+              if fired >= budget then incr exhausted;
+              (match r.Chaos.fired with
+              | f :: _ ->
+                  detect_steps := !detect_steps + (r.Chaos.res.Rme_sim.Engine.steps - f.Rme_sim.Crash.f_step);
+                  incr detect_runs
+              | [] -> ());
+              if Chaos.battery case ~requests:cfg.Chaos.requests r.Chaos.res <> [] then
+                incr violations
+            done;
+            let dt = Unix.gettimeofday () -. t0 in
+            let latency =
+              if !detect_runs = 0 then 0.0
+              else float_of_int !detect_steps /. float_of_int !detect_runs
+            in
+            (key, model_name, !crashes, !exhausted, !violations, latency, dt))
+          adversaries)
+      [ "wr"; "ba-jjj"; "jjj-sys"; "dm-jjj" ]
+  in
+  table
+    ~header:
+      [ "lock"; "crash model"; "crashes"; "exhausted"; "viol"; "detect"; "wall clock"; "runs/s" ]
+    ~rows:
+      (List.map
+         (fun (key, model_name, crashes, exhausted, violations, latency, dt) ->
+           [
+             key;
+             model_name;
+             string_of_int crashes;
+             Printf.sprintf "%d/%d" exhausted runs;
+             string_of_int violations;
+             Printf.sprintf "%.0f steps" latency;
+             Printf.sprintf "%.3f s" dt;
+             Printf.sprintf "%.1f" (float_of_int runs /. dt);
+           ])
+         cases);
+  Fmt.pr "@.(exhausted = runs in which the storm spent its whole crash budget;@.\
+          detect = mean engine steps from a run's first crash to its battery@.\
+          verdict; viol is expected to stay 0 for every recoverable lock under@.\
+          both models)@.";
+  let path = "BENCH_syscrash.json" in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"experiment\": \"syscrash\",\n  \"cases\": [\n";
+  List.iteri
+    (fun i (key, model_name, crashes, exhausted, violations, latency, dt) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"lock\": %S, \"crash_model\": %S, \"runs\": %d, \"crashes\": %d, \
+            \"exhausted_runs\": %d, \"violations\": %d, \"detect_latency_steps\": %.1f, \
+            \"seconds\": %.4f, \"runs_per_sec\": %.2f}%s\n"
+           key model_name runs crashes exhausted violations latency dt
+           (float_of_int runs /. dt)
+           (if i = List.length cases - 1 then "" else ",")))
+    cases;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (Buffer.contents buf));
+  Fmt.pr "@.(json: %s)@." path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock suite                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1242,6 +1341,7 @@ let experiments =
     ("explore", explore_bench);
     ("sweep", sweep_bench);
     ("chaos", chaos_bench);
+    ("syscrash", syscrash_bench);
     ("figures", figures);
     ("bechamel", bechamel);
   ]

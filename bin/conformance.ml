@@ -1,13 +1,24 @@
-(* Cross-lock conformance matrix: exhaustively sweep crash sites over every
-   lock in the registry (plus the splitter try-lock and the dual-port
-   arbitrator) and render lock × property verdicts.
+(* Cross-lock, cross-crash-model conformance shootout: sweep crash plans
+   over every lock in the registry (plus the splitter try-lock and the
+   dual-port arbitrator) and render one lock × property matrix per crash
+   model.  The registry spans four papers — Golab–Ramaraju/Dhoked–Mittal
+   adaptive RME (this repo's source), the Jayanti–Jayanti–Joshi
+   sublogarithmic tree, the JJJ system-crash ticket lock (arXiv
+   2302.00748) and the Dhoked–Mittal fair transformation (arXiv
+   2110.08308) — so the matrix is a shootout of the papers' locks against
+   both failure models.
 
      dune exec bin/conformance.exe -- --n 2 --requests 1 --site-cap 48
      dune exec bin/conformance.exe -- --lock wr --budget 1 --max-runs 4000
+     dune exec bin/conformance.exe -- --model system --lock jjj-sys,dm-jjj
 
-   Exit status 0 iff no unexpected violation (FAIL) was found; expected
-   violations — WR-Lock's FAS-gap ME overlap, a non-recoverable lock's
-   post-crash deadlock — do not fail the run. *)
+   --model per-process sweeps the paper's individual-crash model (§2.2),
+   --model system the JJJ system-wide model (every continuation erased at
+   one step), --model both (default) renders both matrices.
+
+   Exit status 0 iff no unexpected violation (FAIL) was found in any
+   swept model; expected violations — WR-Lock's FAS-gap ME overlap, a
+   non-recoverable lock's post-crash deadlock — do not fail the run. *)
 
 open Cmdliner
 open Rme_sim
@@ -66,8 +77,26 @@ let subjects ~n ~requests ~cs_yields ~only =
   in
   registry @ extras
 
+(* One matrix under one crash model.  Locks marked crash_safe = false make
+   no guarantee whatsoever under crashes (of either model), so crash plans
+   are not meaningful for them: sweep them crash-free only (budget 0) and
+   keep the crash budget for the rest.  Rows are re-merged into registry
+   order afterwards. *)
+let matrix_rows cfg ~subjects =
+  let order = List.mapi (fun i (s, _) -> (s.Sweep.subject_name, i)) subjects in
+  let safe = List.filter_map (fun (s, cs) -> if cs then Some s else None) subjects in
+  let unsafe = List.filter_map (fun (s, cs) -> if cs then None else Some s) subjects in
+  let rows =
+    Sweep.matrix cfg ~model:Memory.CC ~subjects:safe
+    @ Sweep.matrix { cfg with Sweep.budget = 0 } ~model:Memory.CC ~subjects:unsafe
+  in
+  List.sort
+    (fun a b ->
+      compare (List.assoc a.Sweep.row_subject order) (List.assoc b.Sweep.row_subject order))
+    rows
+
 let conformance n requests cs_yields budget site_cap plan_cap max_runs max_steps jobs
-    split_depth only out =
+    split_depth model only out =
   let cfg =
     {
       Sweep.default_cfg with
@@ -80,6 +109,12 @@ let conformance n requests cs_yields budget site_cap plan_cap max_runs max_steps
       split_depth;
     }
   in
+  let models =
+    match model with
+    | `Per_process -> [ Sweep.Per_process ]
+    | `System -> [ Sweep.System_wide ]
+    | `Both -> [ Sweep.Per_process; Sweep.System_wide ]
+  in
   let subjects = subjects ~n ~requests ~cs_yields ~only in
   if subjects = [] then begin
     Fmt.epr "no such lock; known: %s, splitter, arbitrator@."
@@ -87,31 +122,21 @@ let conformance n requests cs_yields budget site_cap plan_cap max_runs max_steps
     2
   end
   else begin
-    (* Locks marked crash_safe = false make no guarantee whatsoever under
-       crashes, so crash plans are not meaningful for them: sweep them
-       crash-free only (budget 0) and keep the crash budget for the rest.
-       Rows are re-merged into registry order afterwards. *)
-    let order = List.mapi (fun i (s, _) -> (s.Sweep.subject_name, i)) subjects in
-    let safe = List.filter_map (fun (s, cs) -> if cs then Some s else None) subjects in
-    let unsafe = List.filter_map (fun (s, cs) -> if cs then None else Some s) subjects in
-    let rows =
-      Sweep.matrix cfg ~model:Memory.CC ~subjects:safe
-      @ Sweep.matrix { cfg with Sweep.budget = 0 } ~model:Memory.CC ~subjects:unsafe
+    let sections =
+      List.map
+        (fun crash_model ->
+          let rows = matrix_rows { cfg with Sweep.crash_model } ~subjects in
+          let header, cells = Sweep.matrix_cells rows in
+          let details = Sweep.matrix_details rows in
+          let rendered =
+            Printf.sprintf "crash model: %s\n" (Sweep.crash_model_string crash_model)
+            ^ Rme.Report.table_to_string ~header ~rows:cells
+            ^ String.concat "" (List.map (fun l -> l ^ "\n") details)
+          in
+          (crash_model, rows, rendered))
+        models
     in
-    let rows =
-      List.sort
-        (fun a b ->
-          compare
-            (List.assoc a.Sweep.row_subject order)
-            (List.assoc b.Sweep.row_subject order))
-        rows
-    in
-    let header, cells = Sweep.matrix_cells rows in
-    let details = Sweep.matrix_details rows in
-    let rendered =
-      Rme.Report.table_to_string ~header ~rows:cells
-      ^ String.concat "" (List.map (fun l -> l ^ "\n") details)
-    in
+    let rendered = String.concat "\n" (List.map (fun (_, _, r) -> r) sections) in
     print_string rendered;
     (match out with
     | None -> ()
@@ -119,14 +144,22 @@ let conformance n requests cs_yields budget site_cap plan_cap max_runs max_steps
         let oc = open_out path in
         Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc rendered);
         Fmt.pr "matrix written to %s@." path);
-    match Sweep.matrix_failures rows with
+    let failures =
+      List.concat_map
+        (fun (m, rows, _) ->
+          List.map (fun (s, f) -> (m, s, f)) (Sweep.matrix_failures rows))
+        sections
+    in
+    match failures with
     | [] ->
-        Fmt.pr "@.conformance clean: %d locks, 0 unexpected violations@." (List.length rows);
+        Fmt.pr "@.conformance clean: %d locks x %d crash models, 0 unexpected violations@."
+          (List.length subjects) (List.length models);
         0
     | failures ->
         Fmt.pr "@.%d unexpected violations:@." (List.length failures);
         List.iter
-          (fun (subject, f) -> Fmt.pr "  %s: %a@." subject Sweep.pp_finding f)
+          (fun (m, subject, f) ->
+            Fmt.pr "  [%s] %s: %a@." (Sweep.crash_model_string m) subject Sweep.pp_finding f)
           failures;
         1
   end
@@ -172,6 +205,16 @@ let () =
       value & opt int 1
       & info [ "split-depth" ] ~docv:"D" ~doc:"Frontier split depth of the parallel explorer.")
   in
+  let model =
+    Arg.(
+      value
+      & opt (enum [ ("per-process", `Per_process); ("system", `System); ("both", `Both) ]) `Both
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Crash model(s) to sweep: $(b,per-process) (the paper's individual crashes), \
+             $(b,system) (system-wide crashes, every continuation erased at one step), or \
+             $(b,both).")
+  in
   let only =
     Arg.(
       value
@@ -190,6 +233,6 @@ let () =
          ~doc:"Crash-site sweep conformance matrix over the lock registry.")
       Term.(
         const conformance $ n $ requests $ cs_yields $ budget $ site_cap $ plan_cap $ max_runs
-        $ max_steps $ jobs $ split_depth $ only $ out)
+        $ max_steps $ jobs $ split_depth $ model $ only $ out)
   in
   exit (Cmd.eval' cmd)

@@ -5,6 +5,7 @@ type adversary =
   | Window of { rate : float; max_crashes : int }
   | Offender of { victim : int; gap : int; times : int }
   | Storm of { rate : float; max_crashes : int; gap : int; backoff : float }
+  | Sys_storm of { rate : float; max_crashes : int; gap : int; backoff : float }
 
 let pp_adversary ppf = function
   | Holder { rate; max_crashes } -> Fmt.pf ppf "holder(rate=%g,max=%d)" rate max_crashes
@@ -13,6 +14,8 @@ let pp_adversary ppf = function
       Fmt.pf ppf "offender(p%d,gap=%d,times=%d)" victim gap times
   | Storm { rate; max_crashes; gap; backoff } ->
       Fmt.pf ppf "storm(rate=%g,max=%d,gap=%d,backoff=%g)" rate max_crashes gap backoff
+  | Sys_storm { rate; max_crashes; gap; backoff } ->
+      Fmt.pf ppf "sys-storm(rate=%g,max=%d,gap=%d,backoff=%g)" rate max_crashes gap backoff
 
 let standard_adversaries =
   [
@@ -22,13 +25,17 @@ let standard_adversaries =
     Storm { rate = 0.004; max_crashes = 8; gap = 300; backoff = 2.0 };
   ]
 
+let default_sys_storm = Sys_storm { rate = 0.002; max_crashes = 3; gap = 400; backoff = 2.0 }
+
 let adversary_of_string s =
   match String.lowercase_ascii s with
   | "holder" -> Ok (Holder { rate = 0.05; max_crashes = 8 })
   | "window" -> Ok (Window { rate = 0.25; max_crashes = 4 })
   | "offender" -> Ok (Offender { victim = 0; gap = 4; times = 5 })
   | "storm" -> Ok (Storm { rate = 0.004; max_crashes = 8; gap = 300; backoff = 2.0 })
-  | other -> Error (Printf.sprintf "unknown adversary %S (holder|window|offender|storm)" other)
+  | "sys-storm" | "sys_storm" | "system-storm" -> Ok default_sys_storm
+  | other ->
+      Error (Printf.sprintf "unknown adversary %S (holder|window|offender|storm|sys-storm)" other)
 
 let plan adv ~seed =
   match adv with
@@ -37,6 +44,8 @@ let plan adv ~seed =
   | Offender { victim; gap; times } -> Crash.repeat_offender ~victim ~gap ~times
   | Storm { rate; max_crashes; gap; backoff } ->
       Crash.storm ~seed ~rate ~max_crashes ~gap ~backoff ()
+  | Sys_storm { rate; max_crashes; gap; backoff } ->
+      Crash.system_storm ~seed ~rate ~max_crashes ~gap ~backoff ()
 
 type cfg = {
   n : int;
@@ -115,7 +124,10 @@ let pp_point ppf = function
   | Crash.After -> Fmt.string ppf "after"
 
 let pp_fired ppf (f : Crash.fired) =
-  Fmt.pf ppf "p%d@op%d(%a,step %d)" f.f_pid f.f_op_index pp_point f.f_point f.f_step
+  if f.f_async then
+    if f.f_pid < 0 then Fmt.pf ppf "system(step %d)" f.f_step
+    else Fmt.pf ppf "p%d@async(step %d)" f.f_pid f.f_step
+  else Fmt.pf ppf "p%d@op%d(%a,step %d)" f.f_pid f.f_op_index pp_point f.f_point f.f_step
 
 let pp_violation ppf v =
   Fmt.pf ppf "@[<v2>%s seed=%d adversary=%a:@,%a@,fired: %a@,replay %s, witness %d decisions@]"

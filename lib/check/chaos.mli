@@ -34,15 +34,27 @@ type adversary =
           restarted passage, [times] crashes total *)
   | Storm of { rate : float; max_crashes : int; gap : int; backoff : float }
       (** random crashes with a cooldown gap that scales by [backoff] *)
+  | Sys_storm of { rate : float; max_crashes : int; gap : int; backoff : float }
+      (** {e system-wide} crash bursts ({!Rme_sim.Crash.system_storm}): the
+          whole system loses its continuations at once, with a cooldown
+          gap that scales by [backoff] — the Jayanti–Jayanti–Joshi failure
+          model driven adversarially *)
 
 val pp_adversary : adversary Fmt.t
 
 val adversary_of_string : string -> (adversary, string) result
-(** Parses the CLI names [holder], [window], [offender], [storm] (with the
-    default parameters of {!standard_adversaries}). *)
+(** Parses the CLI names [holder], [window], [offender], [storm],
+    [sys-storm] (with the default parameters of {!standard_adversaries}
+    and {!default_sys_storm}). *)
 
 val standard_adversaries : adversary list
-(** One of each, with campaign-tuned default parameters. *)
+(** One per-process adversary of each kind, with campaign-tuned default
+    parameters.  Does {e not} include {!Sys_storm}: the per-process
+    campaigns pinned by the test suite predate the system-wide model, and
+    system-crash campaigns opt in explicitly. *)
+
+val default_sys_storm : adversary
+(** The campaign-tuned {!Sys_storm}. *)
 
 val plan : adversary -> seed:int -> Crash.t
 (** Instantiate the (stateful) crash plan — fresh per run. *)

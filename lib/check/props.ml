@@ -86,7 +86,9 @@ let weak_me_intervals (res : Engine.result) ~lock_id =
               in
               active := ref pending :: !active
             end
-        | Event.Note _ | Event.Op _ -> ())
+        (* a system crash is followed by per-pid Crash events; those carry
+           the holder/window bookkeeping *)
+        | Event.Sys_crash _ | Event.Note _ | Event.Op _ -> ())
     res.Engine.events;
   !violation
 
@@ -269,6 +271,39 @@ let failure_free_rmr (res : Engine.result) ~bound =
     !bad
   end
 
+(* After a system-wide crash every process's continuation is gone, so no
+   process may reach the CS again without first restarting a passage: its
+   next [Cs_begin] must be preceded by a [Req_begin] emitted after the
+   crash.  A violation means a continuation (or the CS occupancy it
+   implies) survived the whole-system restart — the engine erasure or a
+   lock's recovery path is broken. *)
+let system_recovery (res : Engine.result) =
+  let needs_recovery : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let violation = ref None in
+  List.iter
+    (fun ev ->
+      if !violation = None then
+        match ev with
+        (* A system crash is followed by one per-pid [Crash] event per
+           victim at the same step, so marking on [Crash] covers both the
+           per-process and the system-wide model. *)
+        | Event.Crash { pid; step; _ } -> Hashtbl.replace needs_recovery pid step
+        | Event.Note { pid; note = Event.Seg Event.Req_begin; _ } ->
+            Hashtbl.remove needs_recovery pid
+        | Event.Note { pid; step; note = Event.Seg Event.Cs_begin; _ } -> (
+            match Hashtbl.find_opt needs_recovery pid with
+            | Some crash_step ->
+                violation :=
+                  Some
+                    (Printf.sprintf
+                       "p%d entered the CS at step %d without restarting its passage after \
+                        crashing at step %d"
+                       pid step crash_step)
+            | None -> ())
+        | Event.Sys_crash _ | Event.Note _ | Event.Op _ -> ())
+    res.Engine.events;
+  !violation
+
 let all_satisfied (res : Engine.result) ~n ~requests =
   (not res.Engine.deadlocked) && (not res.Engine.timed_out)
   && Engine.total_completed res = n * requests
@@ -286,6 +321,8 @@ let check_battery (res : Engine.result) ~requests ~weak_lock_ids =
             None weak_lock_ids );
       ("starvation-freedom", starvation_freedom res ~requests);
       ("super-adaptivity", super_adaptivity res);
+      (* Vacuous without a recorded history ([events = []]). *)
+      ("system-recovery", system_recovery res);
     ]
   in
   List.filter_map (fun (name, r) -> Option.map (fun msg -> name ^ ": " ^ msg) r) battery

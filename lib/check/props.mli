@@ -72,6 +72,14 @@ val failure_free_rmr : Engine.result -> bound:int -> string option
     since crashed and post-crash passages may legitimately pay the adaptive
     slow path. *)
 
+val system_recovery : Engine.result -> string option
+(** No process skips recovery after a crash: once struck — individually or
+    by a system-wide crash (every {!Rme_sim.Event.Sys_crash} is followed by
+    one per-pid crash event per victim) — a process must emit a fresh
+    [Req_begin] before its next [Cs_begin].  A violation means a
+    continuation survived the erasure or a recovery path jumped straight
+    back into the CS.  Vacuous without recorded history. *)
+
 val all_satisfied : Engine.result -> n:int -> requests:int -> bool
 (** Convenience: completed = n × requests, no deadlock, no timeout. *)
 
@@ -79,5 +87,6 @@ val check_battery :
   Engine.result -> requests:int -> weak_lock_ids:int list -> string list
 (** The standard battery: mutual exclusion (or, for weakly recoverable
     application locks, the interval form over [weak_lock_ids]) plus
-    starvation freedom plus the super-adaptivity monitor.  Returns the
-    violations found ([[]] = clean). *)
+    starvation freedom, the super-adaptivity monitor and the
+    {!system_recovery} monitor.  Returns the violations found
+    ([[]] = clean). *)

@@ -28,7 +28,7 @@ let verify (res : Engine.result) ~mem_dump =
                     (Printf.sprintf "step %d: p%d read %d from %s but the trace last wrote %d"
                        step pid value cell current)
             | _ -> Hashtbl.replace contents cell value)
-        | Event.Op _ | Event.Note _ | Event.Crash _ -> ())
+        | Event.Op _ | Event.Note _ | Event.Crash _ | Event.Sys_crash _ -> ())
     res.Engine.events;
   let checked = ref 0 in
   if !divergence = None then

@@ -36,6 +36,8 @@ type plan =
   | Single of site * Crash.point
   | Async_park of site
   | Pair of (site * Crash.point) * (site * Crash.point)
+  | System of int
+  | Sys_pair of int * int
 
 let point_string = function Crash.Before -> "before" | Crash.After -> "after"
 
@@ -46,6 +48,8 @@ let plan_label = function
   | Pair ((s1, p1), (s2, p2)) ->
       Printf.sprintf "%s %s + %s %s" (point_string p1) (site_label s1) (point_string p2)
         (site_label s2)
+  | System step -> Printf.sprintf "system@%d" step
+  | Sys_pair (s1, s2) -> Printf.sprintf "system@%d + system@%d" s1 s2
 
 let crash_of_plan plan () =
   match plan with
@@ -60,6 +64,8 @@ let crash_of_plan plan () =
           Crash.at_op ~pid:s1.pid ~nth:s1.op_index p1;
           Crash.at_op ~pid:s2.pid ~nth:s2.op_index p2;
         ]
+  | System step -> Crash.system_at ~step
+  | Sys_pair (s1, s2) -> Crash.all [ Crash.system_at ~step:s1; Crash.system_at ~step:s2 ]
 
 (* ------------------------------------------------------------------ *)
 (* Scenarios, properties, configuration                                *)
@@ -115,6 +121,10 @@ let responsiveness_prop ~lock_id =
     needs_record = false;
   }
 
+type crash_model = Per_process | System_wide
+
+let crash_model_string = function Per_process -> "per-process" | System_wide -> "system-wide"
+
 type cfg = {
   max_runs_per_plan : int;
   max_steps : int;
@@ -122,6 +132,7 @@ type cfg = {
   site_cap : int;
   plan_cap : int;
   site_kinds : Api.kind list option;
+  crash_model : crash_model;
   jobs : int;
   split_depth : int;
 }
@@ -134,6 +145,7 @@ let default_cfg =
     site_cap = 96;
     plan_cap = 256;
     site_kinds = None;
+    crash_model = Per_process;
     jobs = 1;
     split_depth = 1;
   }
@@ -215,25 +227,45 @@ let discover cfg ~n ~model scenario =
 
 let plans_of_sites cfg sites =
   if cfg.budget <= 0 then [ No_crash ]
-  else begin
-    let singles =
-      List.concat_map (fun s -> [ Single (s, Crash.Before); Single (s, Crash.After) ]) sites
-    in
-    let parks =
-      List.filter_map (fun s -> if s.kind = Api.Spin then Some (Async_park s) else None) sites
-    in
-    let pairs =
-      if cfg.budget < 2 then []
-      else
-        let rec go = function
-          | [] -> []
-          | s :: rest ->
-              List.map (fun s' -> Pair ((s, Crash.After), (s', Crash.After))) rest @ go rest
+  else
+    match cfg.crash_model with
+    | Per_process ->
+        let singles =
+          List.concat_map (fun s -> [ Single (s, Crash.Before); Single (s, Crash.After) ]) sites
         in
-        go sites
-    in
-    (No_crash :: singles) @ parks @ pairs
-  end
+        let parks =
+          List.filter_map (fun s -> if s.kind = Api.Spin then Some (Async_park s) else None) sites
+        in
+        let pairs =
+          if cfg.budget < 2 then []
+          else
+            let rec go = function
+              | [] -> []
+              | s :: rest ->
+                  List.map (fun s' -> Pair ((s, Crash.After), (s', Crash.After))) rest @ go rest
+            in
+            go sites
+        in
+        (No_crash :: singles) @ parks @ pairs
+    | System_wide ->
+        (* The whole system crashes at once, so the only free coordinate is
+           {e when}: one plan per distinct global step a (deduplicated)
+           site executed at in the discovery run — every phase the
+           algorithm passes through is hit at least once — plus ordered
+           step pairs when the budget allows a second crash (recovery
+           itself re-crashed). *)
+        let steps = List.sort_uniq compare (List.map (fun s -> s.step) sites) in
+        let singles = List.map (fun st -> System st) steps in
+        let pairs =
+          if cfg.budget < 2 then []
+          else
+            let rec go = function
+              | [] -> []
+              | st :: rest -> List.map (fun st' -> Sys_pair (st, st')) rest @ go rest
+            in
+            go steps
+        in
+        (No_crash :: singles) @ pairs
 
 (* The per-plan violation message is tagged with the property that raised
    it; the explorer's [check] returns a single string, so the tag travels

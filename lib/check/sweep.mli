@@ -58,6 +58,12 @@ type plan =
           before/after-instruction plan can *)
   | Pair of (site * Crash.point) * (site * Crash.point)
       (** two crashes in one history (budget [F = 2]) *)
+  | System of int
+      (** system-wide crash ({!Crash.system_at}) at this global step — the
+          whole system loses its continuations at once *)
+  | Sys_pair of int * int
+      (** two system-wide crashes (budget [F = 2]): the second strikes the
+          system while it is recovering from the first *)
 
 val plan_label : plan -> string
 (** Deterministic human-readable label, e.g. ["after p1#23 fas wr.tail"]. *)
@@ -101,26 +107,40 @@ val weak_me_prop : lock_id:int -> prop
 val responsiveness_prop : lock_id:int -> prop
 (** Theorem 4.2 responsiveness ({!Props.responsiveness}); never expected. *)
 
+(** Which failure model the enumeration quantifies over: the paper's
+    per-process crashes (any single process fails at any instruction), or
+    the Jayanti–Jayanti–Joshi system-wide model (every process's
+    continuation is erased at one engine step).  Under [System_wide] the
+    only free coordinate of a crash is {e when}, so plans are
+    {!System}[ step] for every distinct global step the deduplicated
+    discovery sites executed at (plus {!Sys_pair} combinations at budget
+    ≥ 2). *)
+type crash_model = Per_process | System_wide
+
+val crash_model_string : crash_model -> string
+
 type cfg = {
   max_runs_per_plan : int;  (** explorer budget per plan *)
   max_steps : int;  (** engine step bound per run *)
   budget : int;
       (** crash budget F: 0 sweeps only {!No_crash}, 1 adds the single-site
-          plans and park points, ≥ 2 adds pairwise combinations *)
+          plans and park points (per-process) or single-step system crashes
+          (system-wide), ≥ 2 adds pairwise combinations *)
   site_cap : int;  (** keep at most this many deduplicated sites *)
   plan_cap : int;  (** keep at most this many plans *)
   site_kinds : Api.kind list option;
       (** [Some kinds] restricts discovery to sites of these instruction
           kinds — a focused campaign (e.g. [[Fas]] sweeps only the
           FAS-gap candidates); [None] (the default) sweeps everything *)
+  crash_model : crash_model;  (** which failure model the plans quantify over *)
   jobs : int;  (** 1 = sequential {!Explore.explore}; > 1 = that many domains *)
   split_depth : int;  (** frontier split depth of the parallel explorer *)
 }
 
 val default_cfg : cfg
 (** [{ max_runs_per_plan = 300; max_steps = 4_000; budget = 1;
-      site_cap = 96; plan_cap = 256; site_kinds = None; jobs = 1;
-      split_depth = 1 }] *)
+      site_cap = 96; plan_cap = 256; site_kinds = None;
+      crash_model = Per_process; jobs = 1; split_depth = 1 }] *)
 
 (** {1 The sweep} *)
 

@@ -45,7 +45,9 @@ let render ?(width = 100) (res : Engine.result) =
           let b = bucket step in
           Bytes.set lanes.(pid) b 'x';
           crashed_bucket.(pid) <- b
-      | Event.Note _ | Event.Op _ -> ())
+      (* a system crash is followed by per-process Crash events, which
+         paint the 'x' marks — nothing lane-shaped to draw for it *)
+      | Event.Sys_crash _ | Event.Note _ | Event.Op _ -> ())
     events;
   (* Final fill to the right edge. *)
   for pid = 0 to n - 1 do

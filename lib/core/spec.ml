@@ -215,6 +215,33 @@ let all =
       make = Ba_lock.default;
     };
     {
+      key = "jjj-sys";
+      descr = "JJJ ticket lock recoverable under system-wide crashes (arXiv 2302.00748 shape)";
+      expectation = expect "O(1)" "O(1) + repair scans" "O(n) repair scans";
+      ff_bound = const 16;
+      table1 = false;
+      crash_safe = true;
+      make = Jjj_sys.make;
+    };
+    {
+      key = "dm-jjj";
+      descr = "Dhoked-Mittal fair/adaptive transformation over the JJJ-shape tree (arXiv 2110.08308)";
+      expectation = expect "O(1)" "O(1) + base recovery" "O(n) repair scans";
+      ff_bound = sublog 20 24;
+      table1 = false;
+      crash_safe = true;
+      make = Dm_lock.make_over ~name:"dm-jjj" ~base:Jjj_tree.make;
+    };
+    {
+      key = "dm-ba-jjj";
+      descr = "Dhoked-Mittal transformation over the headline BA-Lock: adaptive and fair";
+      expectation = expect "O(1)" "O(sqrt F)" "O(n) repair scans";
+      ff_bound = const 62;
+      table1 = false;
+      crash_safe = true;
+      make = Dm_lock.make_over ~name:"dm-ba" ~base:Ba_lock.default;
+    };
+    {
       key = "ba-jjj-tracked";
       descr = "BA-Lock with the section-7.3 last-known-level restart optimisation";
       expectation = expect "O(1)" "O(sqrt F)" "O(log n/log log n)";

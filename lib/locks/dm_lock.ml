@@ -1,0 +1,27 @@
+open Rme_sim
+
+type t = { id : int; name : string; tk : Tickets.t; base : Lock.t }
+
+let create ?(name = "dm") ~base ctx =
+  let id = Engine.Ctx.register_lock ctx name in
+  { id; name; tk = Tickets.create ~name:(name ^ ".door") ctx; base = base ctx }
+
+let lock_id t = t.id
+
+(* Doorway first, base second, released in reverse: the doorway admits one
+   process at a time in ticket order, so the base lock is acquired in FCFS
+   order and never sees live contention on the failure-free path.  A crash
+   between the base release and the doorway hand-off restarts the passage
+   with the doorway still ours (slot = ticket = grant): recovery resumes
+   doorway ownership and re-acquires the idle base — bounded CS reentry,
+   never a lost hand-off. *)
+let lock t =
+  Lock.instrument ~id:t.id ~name:t.name
+    ~acquire:(fun ~pid ->
+      Tickets.enter t.tk ~pid;
+      t.base.Lock.acquire ~pid)
+    ~release:(fun ~pid ->
+      t.base.Lock.release ~pid;
+      Tickets.exit t.tk ~pid)
+
+let make_over ~name ~base ctx = lock (create ~name ~base ctx)

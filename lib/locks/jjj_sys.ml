@@ -1,0 +1,16 @@
+open Rme_sim
+
+type t = { id : int; name : string; tk : Tickets.t }
+
+let create ?(name = "jjj-sys") ctx =
+  let id = Engine.Ctx.register_lock ctx name in
+  { id; name; tk = Tickets.create ~name ctx }
+
+let lock_id t = t.id
+
+let lock t =
+  Lock.instrument ~id:t.id ~name:t.name
+    ~acquire:(fun ~pid -> Tickets.enter t.tk ~pid)
+    ~release:(fun ~pid -> Tickets.exit t.tk ~pid)
+
+let make ctx = lock (create ctx)

@@ -26,6 +26,7 @@ type t = {
   label : string;
   on_op : op_info -> decision;
   async : step:int -> int list;
+  system : step:int -> bool;
   por : por_class;
 }
 
@@ -35,11 +36,22 @@ let on_op t info = t.on_op info
 
 let async t ~step = t.async ~step
 
+let system t ~step = t.system ~step
+
 let por_class t = t.por
 
 let no_async ~step:_ = []
 
-let none = { label = "none"; on_op = (fun _ -> No_crash); async = no_async; por = Robust [] }
+let no_system ~step:_ = false
+
+let none =
+  {
+    label = "none";
+    on_op = (fun _ -> No_crash);
+    async = no_async;
+    system = no_system;
+    por = Robust [];
+  }
 
 let at_op ~pid ~nth point =
   let fired = ref false in
@@ -53,6 +65,7 @@ let at_op ~pid ~nth point =
         end
         else No_crash);
     async = no_async;
+    system = no_system;
     por = Robust [ pid ];
   }
 
@@ -75,6 +88,7 @@ let on_match ~label ~pid ~occurrence ~point match_ =
         end
         else No_crash);
     async = no_async;
+    system = no_system;
     por = Robust [ pid ];
   }
 
@@ -113,6 +127,7 @@ let random ~seed ~rate ~max_crashes ?pids () =
         end
         else No_crash);
     async = no_async;
+    system = no_system;
     (* With a single eligible pid the RNG is consumed only on that pid's
        ops, in its own program order — schedule-robust.  With several, the
        draw order depends on the interleaving. *)
@@ -138,6 +153,7 @@ let fas_gap ~seed ~rate ~max_crashes ?(cell_suffix = "filter.tail") () =
             Crash After
         | _ -> No_crash);
     async = no_async;
+    system = no_system;
     por = Sensitive;
   }
 
@@ -151,6 +167,7 @@ let async_at specs =
         let due, rest = List.partition (fun (s, _) -> step >= s) !pending in
         pending := rest;
         List.map snd due);
+    system = no_system;
     por = Sensitive;
   }
 
@@ -175,6 +192,7 @@ let every_nth_passage ~pid ~period ~max_crashes =
             else No_crash
         | _ -> No_crash);
     async = no_async;
+    system = no_system;
     por = Robust [ pid ];
   }
 
@@ -204,6 +222,7 @@ let target_holder ?lock ~seed ~rate ~max_crashes () =
         end
         else No_crash);
     async = no_async;
+    system = no_system;
     por = Sensitive;
   }
 
@@ -223,6 +242,7 @@ let target_window ~seed ~rate ~max_crashes () =
         end
         else No_crash);
     async = no_async;
+    system = no_system;
     por = Sensitive;
   }
 
@@ -252,6 +272,7 @@ let repeat_offender ~victim ~gap ~times =
           end
         end);
     async = no_async;
+    system = no_system;
     por = Robust [ victim ];
   }
 
@@ -281,13 +302,88 @@ let storm ~seed ~rate ~max_crashes ~gap ?(backoff = 1.0) ?pids () =
         end
         else No_crash);
     async = no_async;
+    system = no_system;
     por = Sensitive;
   }
 
-type fired = { f_pid : int; f_op_index : int; f_step : int; f_point : point }
+(* {1 System-wide crashes}
+
+   The failure model of Jayanti–Jayanti–Joshi (arXiv 2302.00748): every
+   process loses its private state at one instant while NVRAM persists.  A
+   system plan is consulted once per engine iteration, on the global step
+   counter only, and therefore is always [Sensitive] — which step an
+   iteration lands on depends on the whole interleaving. *)
+
+let system_at ~step =
+  let fired = ref false in
+  {
+    label = Printf.sprintf "system-at(%d)" step;
+    on_op = (fun _ -> No_crash);
+    async = no_async;
+    system =
+      (fun ~step:now ->
+        if (not !fired) && now >= step then begin
+          fired := true;
+          true
+        end
+        else false);
+    por = Sensitive;
+  }
+
+let system_random ~seed ~rate ~max_crashes () =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Crash.system_random: rate must be in [0, 1]";
+  let rng = Random.State.make [| seed; 0x5b5c8a |] in
+  let budget = ref max_crashes in
+  {
+    label = Printf.sprintf "system-random(rate=%g,max=%d)" rate max_crashes;
+    on_op = (fun _ -> No_crash);
+    async = no_async;
+    system =
+      (fun ~step:_ ->
+        if !budget > 0 && Random.State.float rng 1.0 < rate then begin
+          decr budget;
+          true
+        end
+        else false);
+    por = Sensitive;
+  }
+
+let system_storm ~seed ~rate ~max_crashes ~gap ?(backoff = 1.0) () =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Crash.system_storm: rate must be in [0, 1]";
+  if gap < 0 then invalid_arg "Crash.system_storm: gap must be non-negative";
+  if backoff < 1.0 then invalid_arg "Crash.system_storm: backoff must be >= 1";
+  let rng = Random.State.make [| seed; 0x5b5702 |] in
+  let budget = ref max_crashes in
+  let next_ok = ref 0 in
+  let cur_gap = ref (float_of_int gap) in
+  {
+    label =
+      Printf.sprintf "system-storm(rate=%g,max=%d,gap=%d,backoff=%g)" rate max_crashes gap backoff;
+    on_op = (fun _ -> No_crash);
+    async = no_async;
+    system =
+      (fun ~step ->
+        if !budget > 0 && step >= !next_ok && Random.State.float rng 1.0 < rate then begin
+          decr budget;
+          next_ok := step + int_of_float !cur_gap;
+          cur_gap := !cur_gap *. backoff;
+          true
+        end
+        else false);
+    por = Sensitive;
+  }
+
+type fired = {
+  f_pid : int;
+  f_op_index : int;
+  f_step : int;
+  f_point : point;
+  f_async : bool;
+}
 
 let record_fired plan =
   let fired = ref [] in
+  let push f = fired := f :: !fired in
   let wrapped =
     {
       plan with
@@ -296,10 +392,29 @@ let record_fired plan =
           match plan.on_op info with
           | No_crash -> No_crash
           | Crash point as c ->
-              fired :=
-                { f_pid = info.pid; f_op_index = info.op_index; f_step = info.step; f_point = point }
-                :: !fired;
+              push
+                {
+                  f_pid = info.pid;
+                  f_op_index = info.op_index;
+                  f_step = info.step;
+                  f_point = point;
+                  f_async = false;
+                };
               c);
+      async =
+        (fun ~step ->
+          let pids = plan.async ~step in
+          List.iter
+            (fun pid ->
+              push { f_pid = pid; f_op_index = -1; f_step = step; f_point = Before; f_async = true })
+            pids;
+          pids);
+      system =
+        (fun ~step ->
+          let hit = plan.system ~step in
+          if hit then
+            push { f_pid = -1; f_op_index = -1; f_step = step; f_point = Before; f_async = true };
+          hit);
     }
   in
   (wrapped, fun () -> List.rev !fired)
@@ -315,6 +430,10 @@ let all plans =
         in
         loop plans);
     async = (fun ~step -> List.concat_map (fun p -> p.async ~step) plans);
+    (* No short circuit: every member must be consulted each iteration so
+       stateful system plans keep winding forward identically whether or
+       not an earlier member fired. *)
+    system = (fun ~step -> List.fold_left (fun acc p -> p.system ~step || acc) false plans);
     (* Each robust member decides from its victim's own history, and the
        first-decision-wins short circuit only ever masks consults on ops
        that another member deterministically (per-pid) crashed — so the
@@ -333,5 +452,10 @@ let replay_fired fired =
   match fired with
   | [] -> none
   | _ ->
-      let plans = List.map (fun f -> at_op ~pid:f.f_pid ~nth:f.f_op_index f.f_point) fired in
+      let plan_of f =
+        if f.f_async then
+          if f.f_pid < 0 then system_at ~step:f.f_step else async_at [ (f.f_step, f.f_pid) ]
+        else at_op ~pid:f.f_pid ~nth:f.f_op_index f.f_point
+      in
+      let plans = List.map plan_of fired in
       { (all plans) with label = Printf.sprintf "replay-fired(%d)" (List.length fired) }

@@ -9,6 +9,12 @@
     fire {e asynchronous} crashes that hit a process while it is parked
     (waiting on a spin), and batch crashes (§7.1).
 
+    Beyond the paper's per-process model, plans can fire {e system-wide}
+    crashes — the failure model of Jayanti–Jayanti–Joshi (arXiv
+    2302.00748): every process's continuation is erased at one engine
+    step, NVRAM cells persist, and all processes restart through their
+    recovery sections ({!system_at}, {!system_random}, {!system_storm}).
+
     Plans are stateful values; build a fresh plan for every run. *)
 
 type point = Before | After
@@ -62,6 +68,12 @@ val on_op : t -> op_info -> decision
 
 val async : t -> step:int -> int list
 (** Pids to crash right now, whatever they are doing (even parked). *)
+
+val system : t -> step:int -> bool
+(** [true] to crash the {e whole system} right now: every process's
+    continuation is discarded (parked spinners included), shared memory
+    persists, and every process restarts its body.  Consulted once per
+    engine iteration, after the per-process [async] crashes. *)
 
 val por_class : t -> por_class
 
@@ -160,28 +172,63 @@ val storm :
     ≥ 1).  Models failure bursts that thin out over time, the regime where
     BA-Lock's level budgets are meant to recover. *)
 
+(** {1 System-wide crashes}
+
+    The Jayanti–Jayanti–Joshi model (arXiv 2302.00748): at one engine
+    iteration {e every} process loses its continuation simultaneously —
+    running, ready, and parked processes alike — while NVRAM persists;
+    everyone then restarts through its recovery section.  All system plans
+    decide on the global step counter, so they are all [Sensitive]: the
+    explorer's partial-order reduction disables itself under them. *)
+
+val system_at : step:int -> t
+(** One system-wide crash, at the first engine iteration whose global step
+    is ≥ [step]. *)
+
+val system_random : seed:int -> rate:float -> max_crashes:int -> unit -> t
+(** Each engine iteration crashes the whole system with probability
+    [rate], up to [max_crashes] system crashes in total. *)
+
+val system_storm :
+  seed:int -> rate:float -> max_crashes:int -> gap:int -> ?backoff:float -> unit -> t
+(** Like {!system_random} but with {!storm}'s cooldown schedule: after
+    each system crash no further one fires for the current gap (initially
+    [gap] global steps), and each firing multiplies the gap by [backoff]
+    (default 1.0; must be ≥ 1) — correlated datacenter-style failure
+    bursts that thin out over time. *)
+
 (** {1 Recording and replay} *)
 
 type fired = {
   f_pid : int;
-  f_op_index : int;  (** absolute per-process index — the [nth] of {!at_op} *)
+      (** the struck pid; [-1] for a system-wide crash (all pids) *)
+  f_op_index : int;
+      (** absolute per-process index — the [nth] of {!at_op}; [-1] when
+          [f_async] (asynchronous crashes strike between instructions) *)
   f_step : int;  (** global step at which the crash fired *)
-  f_point : point;
+  f_point : point;  (** [Before] for asynchronous and system crashes *)
+  f_async : bool;
+      (** [true] iff the crash fired through [async] or [system] rather
+          than [on_op] — replayed by step, not by op index *)
 }
-(** One crash actually fired by a plan's [on_op], identified by the
-    process-local coordinates that make it deterministically replayable. *)
+(** One crash actually fired by a plan, identified by the coordinates that
+    make it deterministically replayable. *)
 
 val record_fired : t -> t * (unit -> fired list)
-(** [record_fired plan] wraps [plan] so every crash its [on_op] fires is
-    captured; the returned thunk lists them in firing order.  Asynchronous
-    crashes ([async]) are {e not} captured — the adaptive adversaries above
-    fire through [on_op] only, so for them the record is complete. *)
+(** [record_fired plan] wraps [plan] so {e every} crash it fires is
+    captured — through [on_op], [async] ([f_async] with the victim's pid)
+    and [system] ([f_async] with [f_pid = -1]) alike; the returned thunk
+    lists them in firing order.  The record is complete for any plan, so
+    {!replay_fired} reproduces any adversary's run. *)
 
 val replay_fired : fired list -> t
-(** The deterministic composite of a recorded run: one {!at_op} per fired
-    crash, unioned.  Under the same scheduler decisions it re-injects
-    exactly the same failures — the bridge from adversarial discovery to a
-    fixed, shrinkable witness. *)
+(** The deterministic composite of a recorded run: one {!at_op} per
+    synchronous crash, one {!async_at} per asynchronous one, one
+    {!system_at} per system-wide one, unioned.  Under the same scheduler
+    decisions it re-injects exactly the same failures — the bridge from
+    adversarial discovery to a fixed, shrinkable witness. *)
 
 val all : t list -> t
-(** Union of plans; the first crash decision wins. *)
+(** Union of plans; the first [on_op] crash decision wins, [async] pids are
+    concatenated, and [system] fires if any member does (every member is
+    consulted each iteration, so stateful plans keep winding). *)

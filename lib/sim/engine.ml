@@ -39,6 +39,7 @@ type result = {
   total_rmr : int;
   rmr_by_kind : (Api.kind * int) list;
   total_crashes : int;
+  system_crashes : int;
   procs : proc_stats array;
   locks : lock_stats array;
   cs_max : int;
@@ -130,6 +131,7 @@ type t = {
   events : Event.t Vec.t;
   rmr_by_kind : int array;  (* indexed by a dense Api.kind code *)
   mutable total_rmr : int;
+  mutable system_crashes : int;
   mutable global_cs : int;
   mutable global_cs_max : int;
   mutable deadlocked : bool;
@@ -438,6 +440,17 @@ let crash_now eng pid =
   | Parked p | Woken p -> do_crash eng pid (Some (discontinue_of p.pk))
   | Halted -> ()
 
+(* A system-wide crash (the JJJ model): every process's continuation —
+   running, ready, and parked alike — is erased at this instant; NVRAM
+   persists and every live body restarts through its recovery section.
+   Processes that already satisfied all their requests stay [Halted]. *)
+let system_crash_now eng =
+  record_event eng (Event.Sys_crash { step = eng.step });
+  eng.system_crashes <- eng.system_crashes + 1;
+  for pid = 0 to eng.n - 1 do
+    crash_now eng pid
+  done
+
 let absorb eng pid (st : status) =
   match st with
   | Stopped -> eng.states.(pid) <- Halted
@@ -587,6 +600,7 @@ let state_key eng =
   done;
   let h = ref (hmix 0 eng.total_rmr) in
   Array.iter (fun v -> h := hmix !h v) eng.rmr_by_kind;
+  h := hmix !h eng.system_crashes;
   key.((3 * n) + nlocks + 1) <- !h;
   key.((3 * n) + nlocks + 2) <- eng.global_cs;
   key.((3 * n) + nlocks + 3) <- eng.global_cs_max;
@@ -673,6 +687,7 @@ let finish eng =
         (fun (_, v) -> v > 0)
         (Array.to_list (Array.mapi (fun i v -> (kind_of_code.(i), v)) eng.rmr_by_kind));
     total_crashes = Array.fold_left ( + ) 0 eng.crashes;
+    system_crashes = eng.system_crashes;
     procs;
     locks;
     cs_max = eng.global_cs_max;
@@ -746,6 +761,7 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_w
       events = Vec.create ();
       rmr_by_kind = Array.make 8 0;
       total_rmr = 0;
+      system_crashes = 0;
       global_cs = 0;
       global_cs_max = 0;
       deadlocked = false;
@@ -755,6 +771,7 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_w
   let dpos = ref 0 in
   let rec loop () =
     List.iter (crash_now eng) (Crash.async eng.crash ~step:eng.step);
+    if Crash.system eng.crash ~step:eng.step then system_crash_now eng;
     let ready = runnable eng in
     if Array.length ready = 0 then begin
       let any_parked =
@@ -842,6 +859,7 @@ module Snap = struct
     s_unsafe_crashes : int array;
     s_rmr_by_kind : int array;
     s_total_rmr : int;
+    s_system_crashes : int;
     s_global_cs : int;
     s_global_cs_max : int;
   }
@@ -883,6 +901,7 @@ let capture eng ~pos ~(journal : journal) ~(degrees : int Vec.t) : Snap.t =
     s_unsafe_crashes = Array.copy eng.unsafe_crashes;
     s_rmr_by_kind = Array.copy eng.rmr_by_kind;
     s_total_rmr = eng.total_rmr;
+    s_system_crashes = eng.system_crashes;
     s_global_cs = eng.global_cs;
     s_global_cs_max = eng.global_cs_max;
   }
@@ -989,6 +1008,7 @@ let restore_counters eng (s : Snap.t) =
   Array.blit s.Snap.s_unsafe_crashes 0 eng.unsafe_crashes 0 nlocks;
   Array.blit s.Snap.s_rmr_by_kind 0 eng.rmr_by_kind 0 (Array.length s.Snap.s_rmr_by_kind);
   eng.total_rmr <- s.Snap.s_total_rmr;
+  eng.system_crashes <- s.Snap.s_system_crashes;
   eng.global_cs <- s.Snap.s_global_cs;
   eng.global_cs_max <- s.Snap.s_global_cs_max;
   eng.step <- s.Snap.s_step
@@ -1006,6 +1026,9 @@ let replay_plan plan (s : Snap.t) =
     let oi = ref 0 in
     for st = 0 to s.Snap.s_step do
       ignore (Crash.async plan ~step:st);
+      (* Same per-iteration order as the live loops: async, then the
+         system consult, then the instruction's [on_op]. *)
+      ignore (Crash.system plan ~step:st);
       while
         !oi < s.Snap.s_olen && (Vec.get s.Snap.s_jops !oi).Crash.step = st
       do
@@ -1080,6 +1103,7 @@ let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(recor
       events = Vec.create ();
       rmr_by_kind = Array.make 8 0;
       total_rmr = 0;
+      system_crashes = 0;
       global_cs = 0;
       global_cs_max = 0;
       deadlocked = false;
@@ -1135,7 +1159,10 @@ let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(recor
   let rec loop () =
     let skip = !first in
     first := false;
-    if not skip then List.iter (crash_now eng) (Crash.async plan ~step:eng.step);
+    if not skip then begin
+      List.iter (crash_now eng) (Crash.async plan ~step:eng.step);
+      if Crash.system plan ~step:eng.step then system_crash_now eng
+    end;
     let ready = runnable eng in
     if Array.length ready = 0 then begin
       let any_parked =

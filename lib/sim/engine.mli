@@ -78,6 +78,9 @@ type result = {
           FAS, FAA, or spin fetches (the initial fetch and post-wake
           refetches of local-spin waits) *)
   total_crashes : int;
+      (** per-process crash count summed over pids; a system-wide crash
+          contributes one per live process *)
+  system_crashes : int;  (** system-wide crashes fired by the plan's [system] axis *)
   procs : proc_stats array;
   locks : lock_stats array;
   cs_max : int;  (** max simultaneous occupancy of the application CS *)

@@ -20,6 +20,9 @@ type t =
       holding : int list;
       in_passage : bool;
     }
+  | Sys_crash of { step : int }
+      (* the whole system crashed at [step]; the per-process [Crash] events
+         recorded just after it carry each victim's circumstances *)
   | Op of { step : int; pid : int; kind : string; cell : string; value : int }
 
 let pp_seg ppf = function
@@ -48,8 +51,18 @@ let pp ppf = function
         Fmt.(Dump.list int)
         holding
         (if in_passage then " (in passage)" else "")
+  | Sys_crash { step } -> Fmt.pf ppf "@[%6d *** SYSTEM CRASH ***@]" step
   | Op { step; pid; kind; cell; value } -> Fmt.pf ppf "@[%6d p%d %s %s =%d@]" step pid kind cell value
 
-let step = function Note { step; _ } -> step | Crash { step; _ } -> step | Op { step; _ } -> step
+let step = function
+  | Note { step; _ } -> step
+  | Crash { step; _ } -> step
+  | Sys_crash { step } -> step
+  | Op { step; _ } -> step
 
-let pid = function Note { pid; _ } -> pid | Crash { pid; _ } -> pid | Op { pid; _ } -> pid
+(* [-1] for [Sys_crash]: a system crash belongs to no single process. *)
+let pid = function
+  | Note { pid; _ } -> pid
+  | Crash { pid; _ } -> pid
+  | Sys_crash _ -> -1
+  | Op { pid; _ } -> pid

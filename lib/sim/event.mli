@@ -34,6 +34,11 @@ type t =
       holding : int list;  (** locks whose CS the process occupied *)
       in_passage : bool;
     }
+  | Sys_crash of { step : int }
+      (** the whole system crashed at [step] (every process's continuation
+          erased at once, NVRAM persisting); the per-process {!Crash}
+          events recorded immediately after it carry each victim's
+          circumstances *)
   | Op of { step : int; pid : int; kind : string; cell : string; value : int }
       (** one applied shared-memory instruction and the cell contents after
           it (the value read, for reads); recorded only under [trace_ops].
@@ -48,3 +53,4 @@ val pp : t Fmt.t
 val step : t -> int
 
 val pid : t -> int
+(** [-1] for {!Sys_crash}: a system crash belongs to no single process. *)
