@@ -1105,6 +1105,7 @@ let chaos_bench () =
       case_make = spec.make;
       case_weak = spec.expectation.Rme.Spec.recoverability = `Weak;
       case_ff_bound = Option.map (fun f -> f Chaos.default_cfg.Chaos.n) spec.ff_bound;
+      case_abortable = spec.abortable;
     }
   in
   let adv_name a = Fmt.str "%a" Chaos.pp_adversary a in
@@ -1184,6 +1185,7 @@ let syscrash_bench () =
       case_make = spec.make;
       case_weak = spec.expectation.Rme.Spec.recoverability = `Weak;
       case_ff_bound = None;
+      case_abortable = spec.abortable;
     }
   in
   (* Matched storm profiles: same burst shape, one striking individual
@@ -1268,6 +1270,166 @@ let syscrash_bench () =
   Fmt.pr "@.(json: %s)@." path
 
 (* ------------------------------------------------------------------ *)
+(* Abort: impatience shootout over the abortable locks                  *)
+(* ------------------------------------------------------------------ *)
+
+let abort_bench () =
+  Fmt.pr "@.=== Abort: throughput and abort latency under impatience ===@.@.";
+  let n = 8 and requests = 6 in
+  let seeds = List.init 10 (fun i -> i) in
+  (* Impatience levels are timeout profiles; the realised abort fraction
+     is measured and reported, not assumed. *)
+  let levels =
+    [
+      ("none", Rme.Workload.No_failures);
+      ("mild", Rme.Workload.Impatient { timeout_steps = 120; retries = 2; backoff = 2.0 });
+      ("heavy", Rme.Workload.Impatient { timeout_steps = 25; retries = 4; backoff = 1.5 });
+    ]
+  in
+  let cfg scenario seed =
+    {
+      Rme.Workload.default_cfg with
+      Rme.Workload.n;
+      requests;
+      seed;
+      scenario;
+      record = true;
+      max_steps = 2_000_000;
+    }
+  in
+  let locks = [ "wr-abort"; "bakery-abort"; "tas-abort" ] in
+  let cases =
+    List.concat_map
+      (fun key ->
+        let spec = Rme.Spec.find_exn key in
+        List.map
+          (fun (level, scenario) ->
+            let t0 = Unix.gettimeofday () in
+            let throughput = ref 0.0 and aborts = ref 0 and signals = ref 0 in
+            let lat_sum = ref 0 and lat_max = ref 0 and lat_n = ref 0 in
+            let stalls = ref 0 and completed = ref 0 in
+            List.iter
+              (fun seed ->
+                let res = Rme.Workload.run spec (cfg scenario seed) in
+                let m = Rme.Workload.measure res in
+                throughput := !throughput +. m.Rme.Workload.throughput;
+                aborts := !aborts + m.Rme.Workload.aborts;
+                signals := !signals + List.length res.Rme_sim.Engine.aborts;
+                completed := !completed + Rme_sim.Engine.total_completed res;
+                List.iter
+                  (fun (a : Rme_sim.Engine.abort_stat) ->
+                    match a.Rme_sim.Engine.ab_result with
+                    | Rme_sim.Engine.Res_aborted | Rme_sim.Engine.Res_lost_race ->
+                        lat_sum := !lat_sum + a.Rme_sim.Engine.ab_own_steps;
+                        lat_max := max !lat_max a.Rme_sim.Engine.ab_own_steps;
+                        incr lat_n
+                    | _ -> ())
+                  res.Rme_sim.Engine.aborts;
+                if
+                  Rme.Check.Props.no_lost_wakeup res
+                    ~bound:Rme.Check.Props.default_abort_expect.Rme.Check.Props.overtake_bound
+                  <> None
+                then incr stalls)
+              seeds;
+            let k = float_of_int (List.length seeds) in
+            let latency = if !lat_n = 0 then 0.0 else float_of_int !lat_sum /. float_of_int !lat_n in
+            let dt = Unix.gettimeofday () -. t0 in
+            (key, level, !throughput /. k, !signals, !aborts, latency, !lat_max, !stalls, dt))
+          levels)
+      locks
+  in
+  table
+    ~header:
+      [ "lock"; "impatience"; "thpt/1k"; "signals"; "aborts"; "lat mean"; "lat max"; "stalls" ]
+    ~rows:
+      (List.map
+         (fun (key, level, thpt, signals, aborts, latency, lat_max, stalls, _dt) ->
+           [
+             key;
+             level;
+             Printf.sprintf "%.2f" thpt;
+             string_of_int signals;
+             string_of_int aborts;
+             Printf.sprintf "%.1f" latency;
+             string_of_int lat_max;
+             string_of_int stalls;
+           ])
+         cases);
+  Fmt.pr "@.(thpt = satisfied requests per 1000 engine steps, averaged over %d seeds;@.\
+          lat = the victim's own steps from abort signal to Aborted/lost-race@.\
+          resolution; stalls = runs the lost-wakeup monitor flagged, expected 0)@."
+    (List.length seeds);
+  (* The no-abort overhead of the abortable variants: same workload, no
+     impatience, abortable lock vs its plain ancestor.  This is the cost
+     of carrying the abort port when nobody aborts. *)
+  let overhead =
+    List.map
+      (fun (plain, abortable) ->
+        let thpt key =
+          let spec = Rme.Spec.find_exn key in
+          let sum =
+            List.fold_left
+              (fun acc seed ->
+                let res = Rme.Workload.run spec (cfg Rme.Workload.No_failures seed) in
+                acc +. (Rme.Workload.measure res).Rme.Workload.throughput)
+              0.0 seeds
+          in
+          sum /. float_of_int (List.length seeds)
+        in
+        let base = thpt plain and inst = thpt abortable in
+        (plain, abortable, base, inst, if base = 0.0 then 1.0 else inst /. base))
+      [ ("wr", "wr-abort"); ("bakery", "bakery-abort") ]
+  in
+  table
+    ~header:[ "baseline"; "abortable"; "base thpt"; "abortable thpt"; "ratio" ]
+    ~rows:
+      (List.map
+         (fun (plain, abortable, base, inst, ratio) ->
+           [
+             plain;
+             abortable;
+             Printf.sprintf "%.2f" base;
+             Printf.sprintf "%.2f" inst;
+             Printf.sprintf "%.3f" ratio;
+           ])
+         overhead);
+  let path = "BENCH_abort.json" in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"abort\",\n  \"cases\": [\n";
+  List.iteri
+    (fun i (key, level, thpt, signals, aborts, latency, lat_max, stalls, dt) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"lock\": %S, \"impatience\": %S, \"throughput_per_1k_steps\": %.3f, \
+            \"abort_signals\": %d, \"aborts\": %d, \"abort_latency_own_steps_mean\": %.2f, \
+            \"abort_latency_own_steps_max\": %d, \"lost_wakeup_stalls\": %d, \"seconds\": \
+            %.4f}%s\n"
+           key level thpt signals aborts latency lat_max stalls dt
+           (if i = List.length cases - 1 then "" else ",")))
+    cases;
+  Buffer.add_string buf "  ],\n  \"no_abort_overhead\": [\n";
+  List.iteri
+    (fun i (plain, abortable, base, inst, ratio) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"baseline\": %S, \"abortable\": %S, \"baseline_throughput\": %.3f, \
+            \"abortable_throughput\": %.3f, \"ratio\": %.4f}%s\n"
+           plain abortable base inst ratio
+           (if i = List.length overhead - 1 then "" else ",")))
+    overhead;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (Buffer.contents buf));
+  Fmt.pr "@.(json: %s)@." path;
+  List.iter
+    (fun (_, _, _, _, _, _, _, stalls, _) ->
+      if stalls > 0 then begin
+        Fmt.epr "abort bench: lost-wakeup stall detected@.";
+        exit 1
+      end)
+    cases
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock suite                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1342,6 +1504,7 @@ let experiments =
     ("sweep", sweep_bench);
     ("chaos", chaos_bench);
     ("syscrash", syscrash_bench);
+    ("abort", abort_bench);
     ("figures", figures);
     ("bechamel", bechamel);
   ]

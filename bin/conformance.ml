@@ -58,16 +58,25 @@ let arbitrator_subject ~requests ~cs_yields =
   Sweep.standard_subject ~name:"arbitrator" ~n:2 ~requests ~cs_yields ~recoverability:`Strong
     (fun ctx -> Rme_locks.Arbitrator.as_two_process_lock (Rme_locks.Arbitrator.create ctx) ~n:2)
 
-let subjects ~n ~requests ~cs_yields ~only =
+let subjects ~n ~requests ~cs_yields ~aborts ~only =
   let wanted name = match only with None -> true | Some keys -> List.mem name keys in
   let registry =
     List.filter_map
       (fun (s : Rme.Spec.t) ->
         if not (wanted s.key) then None
         else
+          (* In abort mode every lock gets a well-defined abort port:
+             native for the abortable variants, the Not_supported adapter
+             for the legacy locks — so injected signals probe the whole
+             registry without crashing any subject. *)
+          let make =
+            if aborts && not s.abortable then fun ctx -> Rme_locks.Lock.abortable (s.make ctx)
+            else s.make
+          in
           Some
             ( Sweep.standard_subject ~name:s.key ~n ~requests ~cs_yields
-                ~recoverability:s.expectation.Rme.Spec.recoverability s.make,
+                ~abortable:s.abortable ~recoverability:s.expectation.Rme.Spec.recoverability
+                make,
               s.crash_safe ))
       Rme.Spec.all
   in
@@ -96,7 +105,7 @@ let matrix_rows cfg ~subjects =
     rows
 
 let conformance n requests cs_yields budget site_cap plan_cap max_runs max_steps jobs
-    split_depth model only out =
+    split_depth model aborts only out =
   let cfg =
     {
       Sweep.default_cfg with
@@ -105,6 +114,7 @@ let conformance n requests cs_yields budget site_cap plan_cap max_runs max_steps
       budget;
       site_cap;
       plan_cap;
+      abort_timeout = aborts;
       jobs;
       split_depth;
     }
@@ -115,7 +125,7 @@ let conformance n requests cs_yields budget site_cap plan_cap max_runs max_steps
     | `System -> [ Sweep.System_wide ]
     | `Both -> [ Sweep.Per_process; Sweep.System_wide ]
   in
-  let subjects = subjects ~n ~requests ~cs_yields ~only in
+  let subjects = subjects ~n ~requests ~cs_yields ~aborts:(aborts <> None) ~only in
   if subjects = [] then begin
     Fmt.epr "no such lock; known: %s, splitter, arbitrator@."
       (String.concat ", " (Rme.Spec.keys ()));
@@ -215,6 +225,16 @@ let () =
              $(b,system) (system-wide crashes, every continuation erased at one step), or \
              $(b,both).")
   in
+  let aborts =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "aborts" ] ~docv:"T"
+          ~doc:
+            "Abort-injection mode: layer an impatient-waiter abort plan (timeout $(docv) \
+             steps) over every crash plan, give legacy locks the Not_supported abort \
+             adapter, and check the abort battery on the abortable locks.")
+  in
   let only =
     Arg.(
       value
@@ -233,6 +253,6 @@ let () =
          ~doc:"Crash-site sweep conformance matrix over the lock registry.")
       Term.(
         const conformance $ n $ requests $ cs_yields $ budget $ site_cap $ plan_cap $ max_runs
-        $ max_steps $ jobs $ split_depth $ model $ only $ out)
+        $ max_steps $ jobs $ split_depth $ model $ aborts $ only $ out)
   in
   exit (Cmd.eval' cmd)

@@ -35,14 +35,17 @@ let scenario_arg =
       ( (fun s ->
           match Rme.Workload.scenario_of_string s with
           | Some sc -> Ok sc
-          | None -> Error (`Msg "expected none, fas:F, storm:K or batch:SIZE")),
+          | None -> Error (`Msg ("expected " ^ Rme.Workload.scenario_grammar))),
         Rme.Workload.pp_scenario )
   in
   Arg.(
     value
     & opt scenario_conv Rme.Workload.No_failures
     & info [ "s"; "scenario" ] ~docv:"SCENARIO"
-        ~doc:"Failure scenario: none, fas:F (F unsafe FAS-gap crashes), storm:K (K random crashes), batch:SIZE.")
+        ~doc:
+          "Failure scenario: none, fas:F (F unsafe FAS-gap crashes), storm:K (K random \
+           crashes), batch:SIZE, impatient:T[:RETRIES[:BACKOFF]] (abort every waiter after T \
+           steps, RETRIES times, timeout scaled by BACKOFF after each abort).")
 
 let events_arg =
   Arg.(value & flag & info [ "events" ] ~doc:"Print the recorded event history.")

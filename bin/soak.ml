@@ -22,11 +22,11 @@ let derive_cfg ~seed =
   let requests = 2 + Random.State.int rng 5 in
   let model = if Random.State.bool rng then Memory.CC else Memory.DSM in
   let scenario =
-    match Random.State.int rng 4 with
+    match Random.State.int rng 5 with
     | 0 -> Rme.Workload.No_failures
     | 1 -> Rme.Workload.Fas_storm { f = 1 + Random.State.int rng 8; rate = 0.4 }
     | 2 -> Rme.Workload.Random_storm { crashes = 1 + Random.State.int rng n; rate = 0.008 }
-    | _ ->
+    | 3 ->
         (* Batch phase and cadence vary per seed so the batches land in
            different phases of the run (startup, steady state, drain). *)
         Rme.Workload.Batch
@@ -35,6 +35,13 @@ let derive_cfg ~seed =
             at_step = 50 + Random.State.int rng 1950;
             repeat = 1 + Random.State.int rng 3;
             gap = 200 + Random.State.int rng 1800;
+          }
+    | _ ->
+        Rme.Workload.Impatient
+          {
+            timeout_steps = 20 + Random.State.int rng 180;
+            retries = 1 + Random.State.int rng 4;
+            backoff = 1.0 +. Random.State.float rng 1.5;
           }
   in
   {
@@ -58,12 +65,17 @@ let describe cfg =
   Fmt.str "n=%d req=%d %a %a" cfg.Rme.Workload.n cfg.Rme.Workload.requests Memory.pp_model
     cfg.Rme.Workload.model Rme.Workload.pp_scenario cfg.Rme.Workload.scenario
 
-let run_one ~spec ~seed =
+let abort_expect (spec : Rme.Spec.t) =
+  if spec.Rme.Spec.abortable then Some Rme.Check.Props.default_abort_expect else None
+
+let run_one ~spec ~scenario ~seed =
   let cfg = derive_cfg ~seed in
+  let cfg = match scenario with Some s -> { cfg with Rme.Workload.scenario = s } | None -> cfg in
   let res = Rme.Workload.run spec cfg in
   let problems =
-    Rme.Check.Props.check_battery res ~requests:cfg.Rme.Workload.requests
-      ~weak_lock_ids:(weak_lock_ids spec)
+    Rme.Check.Props.check_battery
+      ?abort:(abort_expect spec)
+      res ~requests:cfg.Rme.Workload.requests ~weak_lock_ids:(weak_lock_ids spec)
   in
   (problems, describe cfg)
 
@@ -74,20 +86,38 @@ let selected_specs lock =
 
 (* --replay: deterministically re-run one recorded case and print the full
    battery report, engine summary and history timeline. *)
-let replay lock seed =
+let pp_abort_stat ppf (a : Engine.abort_stat) =
+  Fmt.pf ppf "p%d signal@%d op#%d %s own=%d rmr=%d -> %a" a.Engine.ab_pid
+    a.Engine.ab_signal_step a.Engine.ab_op_index
+    (if a.Engine.ab_resolved_step < 0 then "pending"
+     else Printf.sprintf "resolved@%d" a.Engine.ab_resolved_step)
+    a.Engine.ab_own_steps a.Engine.ab_rmr Engine.pp_abort_result a.Engine.ab_result
+
+let replay lock scenario seed =
   let failed = ref false in
   List.iter
     (fun (spec : Rme.Spec.t) ->
       let cfg = derive_cfg ~seed in
+      let cfg =
+        match scenario with Some s -> { cfg with Rme.Workload.scenario = s } | None -> cfg
+      in
       let res = Rme.Workload.run spec cfg in
       let problems =
-        Rme.Check.Props.check_battery res ~requests:cfg.Rme.Workload.requests
-          ~weak_lock_ids:(weak_lock_ids spec)
+        Rme.Check.Props.check_battery
+          ?abort:(abort_expect spec)
+          res ~requests:cfg.Rme.Workload.requests ~weak_lock_ids:(weak_lock_ids spec)
       in
       Fmt.pr "=== %s seed=%d: %s@.%a@.%a@." spec.Rme.Spec.key seed (describe cfg)
         Engine.pp_summary res
         (Rme_check.Timeline.pp ?width:None)
         res;
+      (* The abort decision vector of the run: every delivered signal and
+         how it resolved, in delivery order. *)
+      (match res.Engine.aborts with
+      | [] -> ()
+      | aborts ->
+          Fmt.pr "abort decisions (%d):@." (List.length aborts);
+          List.iter (fun a -> Fmt.pr "  %a@." pp_abort_stat a) aborts);
       if problems = [] then Fmt.pr "battery clean@."
       else begin
         failed := true;
@@ -96,7 +126,7 @@ let replay lock seed =
     (selected_specs lock);
   if !failed then 1 else 0
 
-let soak lock runs seed_base verbose jobs =
+let soak lock scenario runs seed_base verbose jobs =
   let specs = selected_specs lock in
   (* One task per (lock, seed); sharded across domains with --jobs > 1.
      run_one is domain-safe (every run builds its own engine, memory and
@@ -110,7 +140,7 @@ let soak lock runs seed_base verbose jobs =
   in
   let results =
     Rme_check.Pool.map ~domains:(max 1 jobs) ~tasks (fun ~index:_ ~stop:_ (spec, seed) ->
-        run_one ~spec ~seed)
+        run_one ~spec ~scenario ~seed)
   in
   let failures = ref [] in
   Array.iteri
@@ -165,14 +195,15 @@ let adversarial lock adv runs seed_base jobs =
           case_make = spec.Rme.Spec.make;
           case_weak = spec.Rme.Spec.expectation.Rme.Spec.recoverability = `Weak;
           case_ff_bound = Option.map (fun f -> f cfg.Chaos.n) spec.Rme.Spec.ff_bound;
+          case_abortable = spec.Rme.Spec.abortable;
         })
       (selected_specs lock)
   in
   let outcome =
     Chaos.campaign ~cfg ~jobs:(max 1 jobs) ~adversaries ~runs ~seed_base cases
   in
-  Fmt.pr "chaos campaign: %d runs, %d crashes injected, %d violations@." outcome.Chaos.runs
-    outcome.Chaos.crashes
+  Fmt.pr "chaos campaign: %d runs, %d crashes + %d aborts injected, %d violations@."
+    outcome.Chaos.runs outcome.Chaos.crashes outcome.Chaos.aborts
     (List.length outcome.Chaos.violations);
   List.iter (fun v -> Fmt.pr "%a@." Chaos.pp_violation v) outcome.Chaos.violations;
   if outcome.Chaos.violations = [] then 0 else 1
@@ -213,20 +244,43 @@ let () =
       & info [ "adversary" ] ~docv:"ADV"
           ~doc:
             "Run an adaptive chaos campaign instead of the oblivious soak: \
-             holder|window|offender|storm|all.  Violations are replayed against a \
-             deterministic at-op crash plan and shrunk to a minimal schedule witness.")
+             holder|window|offender|storm|impatient-storm|all.  Violations are replayed \
+             against a deterministic at-op crash plan and shrunk to a minimal schedule \
+             witness.")
   in
-  let main lock runs seed verbose jobs repro_case replay_seed adversary =
+  let scenario_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"SCENARIO"
+          ~doc:
+            "Force every soak/replay run to this failure scenario instead of the \
+             seed-derived one.  Grammar: none | fas:F | storm:K | batch:SIZE | \
+             impatient:T[:RETRIES[:BACKOFF]].")
+  in
+  let main lock scenario_str runs seed verbose jobs repro_case replay_seed adversary =
+    let scenario =
+      match scenario_str with
+      | None -> None
+      | Some str -> (
+          match Rme.Workload.scenario_of_string str with
+          | Some sc -> Some sc
+          | None ->
+              Fmt.epr "soak: invalid scenario %S (valid: %s)@." str
+                Rme.Workload.scenario_grammar;
+              exit 2)
+    in
     match (repro_case, replay_seed, adversary) with
-    | Some (key, s), _, _ -> replay (Some key) s
-    | None, Some s, _ -> replay lock s
+    | Some (key, s), _, _ -> replay (Some key) scenario s
+    | None, Some s, _ -> replay lock scenario s
     | None, None, Some adv -> adversarial lock adv runs seed jobs
-    | None, None, None -> soak lock runs seed verbose jobs
+    | None, None, None -> soak lock scenario runs seed verbose jobs
   in
   let cmd =
     Cmd.v
       (Cmd.info "soak" ~doc:"Randomized soak/fuzz campaign over the lock registry.")
       Term.(
-        const main $ lock $ runs $ seed $ verbose $ jobs $ repro_arg $ replay_arg $ adversary_arg)
+        const main $ lock $ scenario_arg $ runs $ seed $ verbose $ jobs $ repro_arg $ replay_arg
+        $ adversary_arg)
   in
   exit (Cmd.eval' cmd)

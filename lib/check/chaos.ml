@@ -6,6 +6,7 @@ type adversary =
   | Offender of { victim : int; gap : int; times : int }
   | Storm of { rate : float; max_crashes : int; gap : int; backoff : float }
   | Sys_storm of { rate : float; max_crashes : int; gap : int; backoff : float }
+  | Impatient_storm of { rate : float; max_aborts : int; gap : int; backoff : float }
 
 let pp_adversary ppf = function
   | Holder { rate; max_crashes } -> Fmt.pf ppf "holder(rate=%g,max=%d)" rate max_crashes
@@ -16,6 +17,8 @@ let pp_adversary ppf = function
       Fmt.pf ppf "storm(rate=%g,max=%d,gap=%d,backoff=%g)" rate max_crashes gap backoff
   | Sys_storm { rate; max_crashes; gap; backoff } ->
       Fmt.pf ppf "sys-storm(rate=%g,max=%d,gap=%d,backoff=%g)" rate max_crashes gap backoff
+  | Impatient_storm { rate; max_aborts; gap; backoff } ->
+      Fmt.pf ppf "impatient-storm(rate=%g,max=%d,gap=%d,backoff=%g)" rate max_aborts gap backoff
 
 let standard_adversaries =
   [
@@ -27,6 +30,9 @@ let standard_adversaries =
 
 let default_sys_storm = Sys_storm { rate = 0.002; max_crashes = 3; gap = 400; backoff = 2.0 }
 
+let default_impatient_storm =
+  Impatient_storm { rate = 0.05; max_aborts = 12; gap = 40; backoff = 1.5 }
+
 let adversary_of_string s =
   match String.lowercase_ascii s with
   | "holder" -> Ok (Holder { rate = 0.05; max_crashes = 8 })
@@ -34,8 +40,11 @@ let adversary_of_string s =
   | "offender" -> Ok (Offender { victim = 0; gap = 4; times = 5 })
   | "storm" -> Ok (Storm { rate = 0.004; max_crashes = 8; gap = 300; backoff = 2.0 })
   | "sys-storm" | "sys_storm" | "system-storm" -> Ok default_sys_storm
+  | "impatient-storm" | "impatient_storm" | "impatient" -> Ok default_impatient_storm
   | other ->
-      Error (Printf.sprintf "unknown adversary %S (holder|window|offender|storm|sys-storm)" other)
+      Error
+        (Printf.sprintf
+           "unknown adversary %S (holder|window|offender|storm|sys-storm|impatient-storm)" other)
 
 let plan adv ~seed =
   match adv with
@@ -46,6 +55,13 @@ let plan adv ~seed =
       Crash.storm ~seed ~rate ~max_crashes ~gap ~backoff ()
   | Sys_storm { rate; max_crashes; gap; backoff } ->
       Crash.system_storm ~seed ~rate ~max_crashes ~gap ~backoff ()
+  | Impatient_storm _ -> Crash.none
+
+let abort_plan adv ~seed =
+  match adv with
+  | Impatient_storm { rate; max_aborts; gap; backoff } ->
+      Abort.storm ~seed ~rate ~max_aborts ~gap ~backoff ()
+  | Holder _ | Window _ | Offender _ | Storm _ | Sys_storm _ -> Abort.none
 
 type cfg = {
   n : int;
@@ -62,31 +78,39 @@ let cs_of cfg ~pid:_ =
     Api.yield ()
   done
 
-type run = { res : Engine.result; fired : Crash.fired list; decisions : int list }
+type run = {
+  res : Engine.result;
+  fired : Crash.fired list;
+  ab_fired : Abort.fired list;
+  decisions : int list;
+}
 
 let run_one cfg ~make ~adversary ~seed =
   let decisions = Vec.create () in
   let crash, fired = Crash.record_fired (plan adversary ~seed) in
+  let abort, ab_fired = Abort.record_fired (abort_plan adversary ~seed) in
   let sched = Sched.recording ~inner:(Sched.random ~seed) ~decisions in
   let res =
     Harness.run_lock ~record:true ~max_steps:cfg.max_steps ~cs:(cs_of cfg) ~n:cfg.n
-      ~model:cfg.model ~sched ~crash ~requests:cfg.requests ~make ()
+      ~model:cfg.model ~sched ~crash ~abort ~requests:cfg.requests ~make ()
   in
-  { res; fired = fired (); decisions = Vec.to_list decisions }
+  { res; fired = fired (); ab_fired = ab_fired (); decisions = Vec.to_list decisions }
 
-let replay cfg ~make ~fired ~decisions =
+let replay cfg ~make ~fired ?(ab_fired = []) ~decisions () =
   let mismatch = ref false in
   let sched = Sched.trace ~mismatch ~decisions:(Vec.of_list decisions) ~record:(Vec.create ()) () in
+  let abort = if ab_fired = [] then Abort.none else Abort.replay_fired ab_fired in
   let res =
     Harness.run_lock ~record:true ~max_steps:cfg.max_steps ~cs:(cs_of cfg) ~n:cfg.n
-      ~model:cfg.model ~sched ~crash:(Crash.replay_fired fired) ~requests:cfg.requests ~make ()
+      ~model:cfg.model ~sched ~crash:(Crash.replay_fired fired) ~abort ~requests:cfg.requests
+      ~make ()
   in
   (res, !mismatch)
 
-let shrink_witness cfg ~make ~fired ~check trace =
+let shrink_witness cfg ~make ~fired ?(ab_fired = []) ~check trace =
   Explore.shrink
     ~reproduces:(fun t ->
-      let res, mismatch = replay cfg ~make ~fired ~decisions:t in
+      let res, mismatch = replay cfg ~make ~fired ~ab_fired ~decisions:t () in
       (not mismatch) && check res <> None)
     trace
 
@@ -95,11 +119,13 @@ type case = {
   case_make : Engine.Ctx.t -> Harness.lock;
   case_weak : bool;
   case_ff_bound : int option;
+  case_abortable : bool;
 }
 
 let battery case ~requests res =
   let weak_lock_ids = if case.case_weak then [ 0 ] else [] in
-  Props.check_battery res ~requests ~weak_lock_ids
+  let abort = if case.case_abortable then Some Props.default_abort_expect else None in
+  Props.check_battery ?abort res ~requests ~weak_lock_ids
   @
   match case.case_ff_bound with
   | None -> []
@@ -114,6 +140,7 @@ type violation = {
   v_seed : int;
   v_problems : string list;
   v_fired : Crash.fired list;
+  v_ab_fired : Abort.fired list;
   v_replay_ok : bool;
   v_witness : int list;
   v_detect_steps : int;
@@ -129,19 +156,27 @@ let pp_fired ppf (f : Crash.fired) =
     else Fmt.pf ppf "p%d@async(step %d)" f.f_pid f.f_step
   else Fmt.pf ppf "p%d@op%d(%a,step %d)" f.f_pid f.f_op_index pp_point f.f_point f.f_step
 
+let pp_ab_fired ppf (a : Abort.fired) =
+  if a.a_async then Fmt.pf ppf "abort:p%d@async(step %d)" a.a_pid a.a_step
+  else Fmt.pf ppf "abort:p%d@op%d(step %d)" a.a_pid a.a_op_index a.a_step
+
 let pp_violation ppf v =
-  Fmt.pf ppf "@[<v2>%s seed=%d adversary=%a:@,%a@,fired: %a@,replay %s, witness %d decisions@]"
+  Fmt.pf ppf "@[<v2>%s seed=%d adversary=%a:@,%a@,fired: %a%s%a@,replay %s, witness %d decisions@]"
     v.v_case v.v_seed pp_adversary v.v_adversary
     Fmt.(list ~sep:cut string)
     v.v_problems
     Fmt.(list ~sep:(any " ") pp_fired)
     v.v_fired
+    (if v.v_fired <> [] && v.v_ab_fired <> [] then " " else "")
+    Fmt.(list ~sep:(any " ") pp_ab_fired)
+    v.v_ab_fired
     (if v.v_replay_ok then "confirmed" else "UNFAITHFUL")
     (List.length v.v_witness)
 
 type outcome = {
   runs : int;
   crashes : int;
+  aborts : int;
   detect_steps : int;
   detect_runs : int;
   violations : violation list;
@@ -159,11 +194,22 @@ let confirm_and_shrink cfg case ~requests (adv : adversary) ~seed (r : run) prob
     if List.exists (fun p -> prop_of p = prop) (battery case ~requests res) then Some prop
     else None
   in
-  let replay_res, mismatch = replay cfg ~make:case.case_make ~fired:r.fired ~decisions:r.decisions in
+  let replay_res, mismatch =
+    replay cfg ~make:case.case_make ~fired:r.fired ~ab_fired:r.ab_fired ~decisions:r.decisions ()
+  in
   let replay_ok = (not mismatch) && check replay_res <> None in
   let witness =
-    if replay_ok then shrink_witness cfg ~make:case.case_make ~fired:r.fired ~check r.decisions
+    if replay_ok then
+      shrink_witness cfg ~make:case.case_make ~fired:r.fired ~ab_fired:r.ab_fired ~check
+        r.decisions
     else r.decisions
+  in
+  let first_injection =
+    match (r.fired, r.ab_fired) with
+    | f :: _, a :: _ -> Some (min f.Crash.f_step a.Abort.a_step)
+    | f :: _, [] -> Some f.Crash.f_step
+    | [], a :: _ -> Some a.Abort.a_step
+    | [], [] -> None
   in
   {
     v_case = case.case_name;
@@ -171,10 +217,11 @@ let confirm_and_shrink cfg case ~requests (adv : adversary) ~seed (r : run) prob
     v_seed = seed;
     v_problems = problems;
     v_fired = r.fired;
+    v_ab_fired = r.ab_fired;
     v_replay_ok = replay_ok;
     v_witness = witness;
     v_detect_steps =
-      (match r.fired with [] -> 0 | f :: _ -> r.res.Engine.steps - f.Crash.f_step);
+      (match first_injection with None -> 0 | Some s -> r.res.Engine.steps - s);
   }
 
 let campaign ?(cfg = default_cfg) ?(jobs = 1) ~adversaries ~runs ~seed_base cases =
@@ -198,18 +245,23 @@ let campaign ?(cfg = default_cfg) ?(jobs = 1) ~adversaries ~runs ~seed_base case
           else Some (confirm_and_shrink cfg case ~requests:cfg.requests adv ~seed r problems)
         in
         let detect =
-          match r.fired with [] -> None | f :: _ -> Some (r.res.Engine.steps - f.Crash.f_step)
+          match (r.fired, r.ab_fired) with
+          | f :: _, a :: _ -> Some (r.res.Engine.steps - min f.Crash.f_step a.Abort.a_step)
+          | f :: _, [] -> Some (r.res.Engine.steps - f.Crash.f_step)
+          | [], a :: _ -> Some (r.res.Engine.steps - a.Abort.a_step)
+          | [], [] -> None
         in
-        (r.res.Engine.total_crashes, detect, v))
+        (r.res.Engine.total_crashes, List.length r.ab_fired, detect, v))
   in
-  let runs_done = ref 0 and crashes = ref 0 and violations = ref [] in
+  let runs_done = ref 0 and crashes = ref 0 and aborts = ref 0 and violations = ref [] in
   let detect_steps = ref 0 and detect_runs = ref 0 in
   Array.iter
     (function
       | None -> ()
-      | Some (c, detect, v) ->
+      | Some (c, a, detect, v) ->
           incr runs_done;
           crashes := !crashes + c;
+          aborts := !aborts + a;
           (match detect with
           | Some d ->
               detect_steps := !detect_steps + d;
@@ -220,6 +272,7 @@ let campaign ?(cfg = default_cfg) ?(jobs = 1) ~adversaries ~runs ~seed_base case
   {
     runs = !runs_done;
     crashes = !crashes;
+    aborts = !aborts;
     detect_steps = !detect_steps;
     detect_runs = !detect_runs;
     violations = List.rev !violations;

@@ -39,13 +39,19 @@ type adversary =
           whole system loses its continuations at once, with a cooldown
           gap that scales by [backoff] — the Jayanti–Jayanti–Joshi failure
           model driven adversarially *)
+  | Impatient_storm of { rate : float; max_aborts : int; gap : int; backoff : float }
+      (** abort signals instead of crashes ({!Rme_sim.Abort.storm}): the
+          oldest waiter is told to give up, at most [max_aborts] times,
+          with a cooldown gap that scales by [backoff].  Fires no crashes
+          at all — the pure-impatience adversary. *)
 
 val pp_adversary : adversary Fmt.t
 
 val adversary_of_string : string -> (adversary, string) result
 (** Parses the CLI names [holder], [window], [offender], [storm],
-    [sys-storm] (with the default parameters of {!standard_adversaries}
-    and {!default_sys_storm}). *)
+    [sys-storm], [impatient-storm] (with the default parameters of
+    {!standard_adversaries}, {!default_sys_storm} and
+    {!default_impatient_storm}). *)
 
 val standard_adversaries : adversary list
 (** One per-process adversary of each kind, with campaign-tuned default
@@ -56,8 +62,17 @@ val standard_adversaries : adversary list
 val default_sys_storm : adversary
 (** The campaign-tuned {!Sys_storm}. *)
 
+val default_impatient_storm : adversary
+(** The campaign-tuned {!Impatient_storm}. *)
+
 val plan : adversary -> seed:int -> Crash.t
-(** Instantiate the (stateful) crash plan — fresh per run. *)
+(** Instantiate the (stateful) crash plan — fresh per run.
+    {!Crash.none} for {!Impatient_storm}. *)
+
+val abort_plan : adversary -> seed:int -> Abort.t
+(** Instantiate the abort plan — {!Rme_sim.Abort.storm} for
+    {!Impatient_storm}, {!Rme_sim.Abort.none} for every crash
+    adversary. *)
 
 (** {1 One adversarial run} *)
 
@@ -74,6 +89,7 @@ val default_cfg : cfg
 type run = {
   res : Engine.result;
   fired : Crash.fired list;  (** crashes the adversary fired, in order *)
+  ab_fired : Abort.fired list;  (** abort signals fired, in order *)
   decisions : int list;  (** recorded schedule, {!Sched.trace} encoding *)
 }
 
@@ -86,18 +102,23 @@ val replay :
   cfg ->
   make:(Engine.Ctx.t -> Harness.lock) ->
   fired:Crash.fired list ->
+  ?ab_fired:Abort.fired list ->
   decisions:int list ->
+  unit ->
   Engine.result * bool
 (** Deterministic re-execution: the recorded schedule under
     {!Sched.trace}, the recorded crashes as a fresh composite
-    {!Crash.replay_fired} plan.  Returns the result and whether the replay
-    {e diverged} from the recorded branching structure ([true] = mismatch;
-    reject the replay as unfaithful). *)
+    {!Crash.replay_fired} plan, and — when [ab_fired] is non-empty — the
+    recorded abort signals as an {!Rme_sim.Abort.replay_fired} plan.
+    Returns the result and whether the replay {e diverged} from the
+    recorded branching structure ([true] = mismatch; reject the replay as
+    unfaithful). *)
 
 val shrink_witness :
   cfg ->
   make:(Engine.Ctx.t -> Harness.lock) ->
   fired:Crash.fired list ->
+  ?ab_fired:Abort.fired list ->
   check:(Engine.result -> string option) ->
   int list ->
   int list
@@ -115,6 +136,9 @@ type case = {
           of ME (consequence intervals) instead of plain ME *)
   case_ff_bound : int option;
       (** failure-free per-passage RMR contract, if the lock states one *)
+  case_abortable : bool;
+      (** the lock has a real abort path: hold it to the abort battery
+          ({!Props.default_abort_expect}) on every run *)
 }
 
 val battery : case -> requests:int -> Engine.result -> string list
@@ -128,27 +152,36 @@ type violation = {
   v_seed : int;
   v_problems : string list;  (** battery report of the discovering run *)
   v_fired : Crash.fired list;
+  v_ab_fired : Abort.fired list;
   v_replay_ok : bool;
       (** the deterministic composite plan re-triggered a violation of the
           same property under the recorded schedule *)
   v_witness : int list;
       (** shrunk decision vector (= the recorded one when [not v_replay_ok]) *)
   v_detect_steps : int;
-      (** engine steps from the first injected crash to the end of the
-          discovering run — the detection latency of the campaign *)
+      (** engine steps from the first injection (crash or abort signal) to
+          the end of the discovering run — the detection latency of the
+          campaign *)
 }
+
+val pp_fired : Crash.fired Fmt.t
+(** One fired crash: ["p2@op14(after,step 311)"], ["system(step 42)"]. *)
+
+val pp_ab_fired : Abort.fired Fmt.t
+(** One fired abort signal: ["abort:p2@async(step 311)"]. *)
 
 val pp_violation : violation Fmt.t
 
 type outcome = {
   runs : int;
   crashes : int;  (** crashes injected across all runs *)
+  aborts : int;  (** abort signals injected across all runs *)
   detect_steps : int;
-      (** summed engine steps from the first injected crash of a run to
-          the end of that run — over the [detect_runs] runs in which the
-          adversary fired.  [detect_steps / detect_runs] is the campaign's
-          mean detection latency: how long after an injection the battery
-          verdict on its consequences lands. *)
+      (** summed engine steps from the first injection of a run — crash or
+          abort signal — to the end of that run, over the [detect_runs]
+          runs in which the adversary fired.  [detect_steps / detect_runs]
+          is the campaign's mean detection latency: how long after an
+          injection the battery verdict on its consequences lands. *)
   detect_runs : int;
   violations : violation list;
 }

@@ -47,6 +47,7 @@ type 'a driver = {
   n : int;
   model : Memory.model;
   crash : unit -> Crash.t;
+  abort : unit -> Abort.t;
   setup : Engine.Ctx.t -> 'a;
   body : 'a -> pid:int -> unit;
   check : Engine.result -> string option;
@@ -62,13 +63,14 @@ type 'a driver = {
    statistics (counts, maxima, per-passage RMRs) are permutation-stable by
    the footprint oracle's construction.  When either condition fails the
    requested tier downgrades to `Off. *)
-let por_setup ~por ~record ~crash =
+let por_setup ~por ~record ~crash ~abort =
   match por with
   | `Off -> (`Off, fun _ -> false)
   | (`Sleep | `Source) as tier -> (
-      match Crash.por_class (crash ()) with
-      | Crash.Robust victims when not record -> (tier, fun pid -> List.mem pid victims)
-      | Crash.Robust _ | Crash.Sensitive -> (`Off, fun _ -> false))
+      match (Crash.por_class (crash ()), Abort.por_class (abort ())) with
+      | Crash.Robust victims, Crash.Robust ab_victims when not record ->
+          (tier, fun pid -> List.mem pid victims || List.mem pid ab_victims)
+      | _ -> (`Off, fun _ -> false))
 
 (* Run one schedule.  Returns the engine result, the branching degree
    observed at every decision point, the per-choice footprints (flat, in
@@ -85,7 +87,7 @@ let run_trace ?(state_key_at = -1) ?(on_state_key = fun _ -> ()) d trace =
   let res =
     Engine.run ?footprints ~footprint_crashy:d.crashy ~state_key_at ~on_state_key
       ~record:d.record ~max_steps:d.max_steps ~n:d.n ~model:d.model ~sched ~crash:(d.crash ())
-      ~setup:d.setup ~body:d.body ()
+      ~abort:(d.abort ()) ~setup:d.setup ~body:d.body ()
   in
   (res, Vec.to_array record, footprints, !mismatch)
 
@@ -485,11 +487,11 @@ let cache_for ~n ~statecache ~cache_capacity =
     | None -> if cache_capacity > 0 then Some (Statecache.create ~capacity:cache_capacity ()) else None
 
 let explore ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = true)
-    ?(record = false) ?(por = `Sleep) ?statecache ?(cache_capacity = 65_536) ~n ~model ~crash
-    ~setup ~body ~check () =
-  let tier, crashy = por_setup ~por ~record ~crash in
+    ?(record = false) ?(por = `Sleep) ?statecache ?(cache_capacity = 65_536)
+    ?(abort = fun () -> Abort.none) ~n ~model ~crash ~setup ~body ~check () =
+  let tier, crashy = por_setup ~por ~record ~crash ~abort in
   let d =
-    { max_steps; record; n; model; crash; setup; body; check; por = tier <> `Off; crashy }
+    { max_steps; record; n; model; crash; abort; setup; body; check; por = tier <> `Off; crashy }
   in
   let runs = ref 0 in
   let truncated = ref false in
@@ -577,7 +579,7 @@ let subtree_ckpt d ~snap_gap ~take_run ~stop (prefix0, sleep0) =
     let rr =
       Engine.run_resumable ?from:base ~snap_gap ~snap:(Vec.push snaps) ~record:d.record
         ~max_steps:d.max_steps ~por:d.por ~footprint_crashy:d.crashy ~decisions ~n:d.n
-        ~model:d.model ~crash:d.crash ~setup:d.setup ~body:d.body ()
+        ~model:d.model ~crash:d.crash ~abort:d.abort ~setup:d.setup ~body:d.body ()
     in
     let res = rr.Engine.rr_result in
     (match d.check res with
@@ -667,7 +669,7 @@ let subtree_ckpt_source d ~snap_gap ~ctx ~take_run ~stop (prefix0, inh0) =
         ~max_steps:d.max_steps ~por:d.por ~footprint_crashy:d.crashy
         ~state_key_at:(if caching then depth else -1)
         ~on_state_key:(fun k -> key := Some k)
-        ~decisions ~n:d.n ~model:d.model ~crash:d.crash ~setup:d.setup ~body:d.body ()
+        ~decisions ~n:d.n ~model:d.model ~crash:d.crash ~abort:d.abort ~setup:d.setup ~body:d.body ()
     in
     let res = rr.Engine.rr_result in
     (match d.check res with
@@ -805,10 +807,10 @@ type task_result = { t_runs : int; t_viol : (string * int list) option; t_cut : 
 
 let explore_parallel ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = true)
     ?(record = false) ?(por = `Sleep) ?(cache_capacity = 65_536) ?domains ?(split_depth = 1)
-    ?(snap_gap = 4) ~n ~model ~crash ~setup ~body ~check () =
-  let tier, crashy = por_setup ~por ~record ~crash in
+    ?(snap_gap = 4) ?(abort = fun () -> Abort.none) ~n ~model ~crash ~setup ~body ~check () =
+  let tier, crashy = por_setup ~por ~record ~crash ~abort in
   let d =
-    { max_steps; record; n; model; crash; setup; body; check; por = tier <> `Off; crashy }
+    { max_steps; record; n; model; crash; abort; setup; body; check; por = tier <> `Off; crashy }
   in
   let ndomains =
     match domains with Some x when x >= 1 -> x | Some _ -> 1 | None -> Pool.default_domains ()

@@ -38,6 +38,7 @@ val explore :
   ?por:[ `Off | `Sleep | `Source ] ->
   ?statecache:Footprint.t list option Statecache.t ->
   ?cache_capacity:int ->
+  ?abort:(unit -> Abort.t) ->
   n:int ->
   model:Memory.model ->
   crash:(unit -> Crash.t) ->
@@ -46,7 +47,9 @@ val explore :
   check:(Engine.result -> string option) ->
   unit ->
   outcome
-(** [crash] builds a fresh (stateful) plan per run.  [record] (default
+(** [crash] builds a fresh (stateful) plan per run.  [abort] (default
+    {!Abort.none}) likewise builds a fresh abort plan per run — the abort
+    decision axis explored alongside the schedule.  [record] (default
     false) runs the engine with history recording so that [check] can use
     the event-based property checkers (e.g.
     {!Props.weak_me_intervals}); leave it off when the check only reads
@@ -85,8 +88,10 @@ val explore :
     within [max_steps] (a timed-out run's node falls back to unpruned
     expansion).  They automatically downgrade to [`Off] when they cannot
     be sound: under [record] (event order between independent steps is
-    not preserved) and for schedule-sensitive crash plans
-    ({!Crash.por_class} = [Sensitive]).
+    not preserved) and for schedule-sensitive crash {e or abort} plans
+    ({!Crash.por_class} / {!Abort.por_class} = [Sensitive] — every
+    waiting-history-driven abort plan, e.g. {!Abort.impatient}, is
+    Sensitive, so abort exploration runs unreduced by construction).
 
     [statecache] injects the [`Source] state cache (tests use degenerate
     hashes/capacities to exercise collision behaviour); by default a
@@ -104,6 +109,7 @@ val explore_parallel :
   ?domains:int ->
   ?split_depth:int ->
   ?snap_gap:int ->
+  ?abort:(unit -> Abort.t) ->
   n:int ->
   model:Memory.model ->
   crash:(unit -> Crash.t) ->

@@ -304,11 +304,129 @@ let system_recovery (res : Engine.result) =
     res.Engine.events;
   !violation
 
+(* Every abort signal must resolve — Abort_done, Abort_lost_race,
+   acquisition, or a crash — within [bound] of the victim's own steps.  The
+   engine accounts ab_own_steps for pending signals too, so a signal still
+   unresolved when the run ends is judged by the same yardstick: over
+   budget is a violation, under budget is inconclusive (pass).  Vacuous
+   when the lock has no abort path ([supported = false]): the only
+   resolution a legacy lock offers is the eventual acquisition, which may
+   legitimately take arbitrarily long. *)
+let abort_liveness (res : Engine.result) ~bound ~supported =
+  if not supported then None
+  else
+    List.fold_left
+      (fun acc (a : Engine.abort_stat) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if a.ab_own_steps > bound then
+              Some
+                (Printf.sprintf "p%d: abort signal at step %d %s after %d > %d own steps"
+                   a.ab_pid a.ab_signal_step
+                   (if a.ab_result = Engine.Res_pending then "still unresolved"
+                    else Fmt.str "resolved as %a" Engine.pp_abort_result a.ab_result)
+                   a.ab_own_steps bound)
+            else None)
+      None res.Engine.aborts
+
+(* A lost wakeup is a dropped hand-off: some process parks waiting for a
+   grant that was posted and then destroyed (typically by a broken abort
+   path), so it waits forever while the lock is — per the event history —
+   not held by anyone.  Two observable signatures, both checked:
+
+   - overtaking: a waiter's unresolved [Lock_enter] spans [bound] complete
+     passages (acquired -> released) of the same lock by other processes.
+     Correct hand-off locks admit a registered waiter within O(n)
+     passages, so a generously linear [bound] separates the two.
+   - stalled-free: the run ends in a stall with some process parked in an
+     entry section while no process holds any lock. *)
+let no_lost_wakeup (res : Engine.result) ~bound =
+  let n = Array.length res.Engine.procs in
+  (* waiting.(pid) = Some (lock id, passages by others since Lock_enter) *)
+  let waiting = Array.make n None in
+  let holders : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let violation = ref None in
+  List.iter
+    (fun ev ->
+      if !violation = None then
+        match ev with
+        | Event.Note { pid; note = Event.Lock_enter id; _ } -> waiting.(pid) <- Some (id, 0)
+        | Event.Note { pid; note = Event.Lock_acquired id; _ } ->
+            Hashtbl.replace holders id pid;
+            (match waiting.(pid) with Some (w, _) when w = id -> waiting.(pid) <- None | _ -> ())
+        | Event.Note { pid; step; note = Event.Lock_released id; _ } ->
+            if Hashtbl.find_opt holders id = Some pid then Hashtbl.remove holders id;
+            Array.iteri
+              (fun w -> function
+                | Some (l, k) when l = id && w <> pid ->
+                    if k + 1 >= bound then
+                      violation :=
+                        Some
+                          (Printf.sprintf
+                             "p%d waiting on lock %d overtaken by %d complete passages (>= %d) \
+                              by step %d"
+                             w id (k + 1) bound step)
+                    else waiting.(w) <- Some (l, k + 1)
+                | _ -> ())
+              waiting
+        | Event.Note { pid; note = Event.Abort_done id | Event.Abort_lost_race id; _ } -> (
+            match waiting.(pid) with Some (w, _) when w = id -> waiting.(pid) <- None | _ -> ())
+        | Event.Crash { pid; _ } -> waiting.(pid) <- None
+        | Event.Sys_crash _ | Event.Note _ | Event.Op _ -> ())
+    res.Engine.events;
+  match !violation with
+  | Some _ as v -> v
+  | None ->
+      if res.Engine.deadlocked || res.Engine.stall <> None then begin
+        let stuck = ref [] in
+        Array.iteri
+          (fun pid -> function Some (id, _) -> stuck := (pid, id) :: !stuck | None -> ())
+          waiting;
+        match (!stuck, Hashtbl.length holders) with
+        | (pid, id) :: _, 0 ->
+            Some
+              (Printf.sprintf
+                 "run stalled with p%d (and %d more) parked in lock %d's entry section while \
+                  no process holds any lock — a hand-off was lost"
+                 pid
+                 (List.length !stuck - 1)
+                 id)
+        | _ -> None
+      end
+      else None
+
+(* The abort protocol itself must be cheap: RMRs charged to the victim
+   between the signal and an [Aborted] / [Acquired_instead] resolution.
+   Resolutions by acquisition or crash are not abort-protocol work and are
+   exempt. *)
+let abort_rmr (res : Engine.result) ~bound =
+  List.fold_left
+    (fun acc (a : Engine.abort_stat) ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match a.ab_result with
+          | Engine.Res_aborted | Engine.Res_lost_race ->
+              if a.ab_rmr > bound then
+                Some
+                  (Printf.sprintf "p%d: abort at step %d cost %d > %d RMRs (%s)" a.ab_pid
+                     a.ab_signal_step a.ab_rmr bound
+                     (Fmt.str "%a" Engine.pp_abort_result a.ab_result))
+              else None
+          | Engine.Res_acquired | Engine.Res_crashed | Engine.Res_pending -> None))
+    None res.Engine.aborts
+
 let all_satisfied (res : Engine.result) ~n ~requests =
   (not res.Engine.deadlocked) && (not res.Engine.timed_out)
   && Engine.total_completed res = n * requests
 
-let check_battery (res : Engine.result) ~requests ~weak_lock_ids =
+type abort_expect = { liveness_bound : int; rmr_bound : int; overtake_bound : int; supported : bool }
+
+let default_abort_expect =
+  { liveness_bound = 400; rmr_bound = 60; overtake_bound = 24; supported = true }
+
+let check_battery ?abort (res : Engine.result) ~requests ~weak_lock_ids =
   let battery =
     [
       ( "mutual-exclusion",
@@ -324,5 +442,14 @@ let check_battery (res : Engine.result) ~requests ~weak_lock_ids =
       (* Vacuous without a recorded history ([events = []]). *)
       ("system-recovery", system_recovery res);
     ]
+    @
+    match abort with
+    | None -> []
+    | Some { liveness_bound; rmr_bound; overtake_bound; supported } ->
+        [
+          ("abort-liveness", abort_liveness res ~bound:liveness_bound ~supported);
+          ("no-lost-wakeup", no_lost_wakeup res ~bound:overtake_bound);
+          ("abort-rmr", abort_rmr res ~bound:rmr_bound);
+        ]
   in
   List.filter_map (fun (name, r) -> Option.map (fun msg -> name ^ ": " ^ msg) r) battery

@@ -80,13 +80,51 @@ val system_recovery : Engine.result -> string option
     continuation survived the erasure or a recovery path jumped straight
     back into the CS.  Vacuous without recorded history. *)
 
+(** {1 Abort monitors} *)
+
+val abort_liveness : Engine.result -> bound:int -> supported:bool -> string option
+(** Every abort signal resolves — [Abort_done], [Abort_lost_race],
+    acquisition, or a crash — within [bound] of the {e victim's own} steps
+    (the engine's [ab_own_steps] accounting).  A signal still pending at
+    the end of the run is judged by the same yardstick: over budget is a
+    violation, under budget is inconclusive.  Vacuous when
+    [supported = false] (the lock has no abort path, so waiting the
+    acquisition out is the only — legitimately unbounded — resolution). *)
+
+val no_lost_wakeup : Engine.result -> bound:int -> string option
+(** No hand-off is ever dropped.  Flags either (a) a waiter whose
+    unresolved [Lock_enter] is overtaken by [bound] complete passages
+    (acquired → released) of the same lock by other processes — correct
+    hand-off locks admit a registered waiter within O(n) passages — or
+    (b) a run that stalls with some process parked in an entry section
+    while, per the event history, no process holds any lock. *)
+
+val abort_rmr : Engine.result -> bound:int -> string option
+(** The abort protocol is cheap: RMRs charged to the victim between the
+    signal and an [Aborted]/[Acquired_instead] resolution are ≤ [bound].
+    Resolutions by acquisition or crash are exempt (not protocol work). *)
+
 val all_satisfied : Engine.result -> n:int -> requests:int -> bool
 (** Convenience: completed = n × requests, no deadlock, no timeout. *)
 
+(** What to hold an abortable run to; see {!check_battery}. *)
+type abort_expect = {
+  liveness_bound : int;  (** {!abort_liveness} bound, victim's own steps *)
+  rmr_bound : int;  (** {!abort_rmr} bound *)
+  overtake_bound : int;  (** {!no_lost_wakeup} passage bound *)
+  supported : bool;  (** the lock has a real abort path *)
+}
+
+val default_abort_expect : abort_expect
+(** Generous defaults for the registry's abortable locks:
+    [liveness_bound = 400], [rmr_bound = 60], [overtake_bound = 24],
+    [supported = true]. *)
+
 val check_battery :
-  Engine.result -> requests:int -> weak_lock_ids:int list -> string list
+  ?abort:abort_expect -> Engine.result -> requests:int -> weak_lock_ids:int list -> string list
 (** The standard battery: mutual exclusion (or, for weakly recoverable
     application locks, the interval form over [weak_lock_ids]) plus
     starvation freedom, the super-adaptivity monitor and the
-    {!system_recovery} monitor.  Returns the violations found
-    ([[]] = clean). *)
+    {!system_recovery} monitor.  With [?abort], additionally
+    {!abort_liveness}, {!no_lost_wakeup} and {!abort_rmr} with the given
+    expectations.  Returns the violations found ([[]] = clean). *)

@@ -121,6 +121,36 @@ let responsiveness_prop ~lock_id =
     needs_record = false;
   }
 
+let abort_liveness_prop ~supported =
+  {
+    prop_name = "abortLive";
+    check =
+      (fun res ->
+        Props.abort_liveness res ~bound:Props.default_abort_expect.Props.liveness_bound
+          ~supported);
+    expected_under_crash = false;
+    needs_record = false;
+  }
+
+let no_lost_wakeup_prop () =
+  {
+    prop_name = "noLostWakeup";
+    check =
+      (fun res ->
+        Props.no_lost_wakeup res ~bound:Props.default_abort_expect.Props.overtake_bound);
+    expected_under_crash = false;
+    needs_record = true;
+  }
+
+let abort_rmr_prop () =
+  {
+    prop_name = "abortRMR";
+    check =
+      (fun res -> Props.abort_rmr res ~bound:Props.default_abort_expect.Props.rmr_bound);
+    expected_under_crash = false;
+    needs_record = false;
+  }
+
 type crash_model = Per_process | System_wide
 
 let crash_model_string = function Per_process -> "per-process" | System_wide -> "system-wide"
@@ -133,6 +163,7 @@ type cfg = {
   plan_cap : int;
   site_kinds : Api.kind list option;
   crash_model : crash_model;
+  abort_timeout : int option;
   jobs : int;
   split_depth : int;
 }
@@ -146,6 +177,7 @@ let default_cfg =
     plan_cap = 256;
     site_kinds = None;
     crash_model = Per_process;
+    abort_timeout = None;
     jobs = 1;
     split_depth = 1;
   }
@@ -287,16 +319,22 @@ let split_tagged tagged =
   | Some i -> (String.sub tagged 0 i, String.sub tagged (i + 1) (String.length tagged - i - 1))
   | None -> ("?", tagged)
 
+let abort_of_cfg cfg () =
+  match cfg.abort_timeout with
+  | None -> Abort.none
+  | Some timeout_steps -> Abort.impatient ~timeout_steps ()
+
 let explore_once cfg ~n ~model ~record ~crash scenario check =
+  let abort = abort_of_cfg cfg in
   match scenario with
   | Scenario { setup; body } ->
       if cfg.jobs <= 1 then
-        Explore.explore ~max_runs:cfg.max_runs_per_plan ~max_steps:cfg.max_steps ~record ~n
-          ~model ~crash ~setup ~body ~check ()
+        Explore.explore ~max_runs:cfg.max_runs_per_plan ~max_steps:cfg.max_steps ~record ~abort
+          ~n ~model ~crash ~setup ~body ~check ()
       else
         Explore.explore_parallel ~max_runs:cfg.max_runs_per_plan ~max_steps:cfg.max_steps
-          ~record ~domains:cfg.jobs ~split_depth:cfg.split_depth ~n ~model ~crash ~setup ~body
-          ~check ()
+          ~record ~abort ~domains:cfg.jobs ~split_depth:cfg.split_depth ~n ~model ~crash ~setup
+          ~body ~check ()
 
 let sweep cfg ~n ~model ~props scenario =
   let sites_seen, sites, sites_truncated = discover cfg ~n ~model scenario in
@@ -367,7 +405,12 @@ type subject = {
   subject_props : prop list;
 }
 
-let standard_subject ~name ~n ~requests ?cs_yields ~recoverability make =
+let standard_subject ~name ~n ~requests ?cs_yields ?(abortable = false) ~recoverability make =
+  let abort_props =
+    if abortable then
+      [ abort_liveness_prop ~supported:true; no_lost_wakeup_prop (); abort_rmr_prop () ]
+    else []
+  in
   let props =
     match recoverability with
     | `Strong -> [ me_prop (); sf_prop ~requests () ]
@@ -386,7 +429,7 @@ let standard_subject ~name ~n ~requests ?cs_yields ~recoverability make =
     subject_name = name;
     subject_n = n;
     subject_scenario = lock_scenario ?cs_yields ~requests make;
-    subject_props = props;
+    subject_props = props @ abort_props;
   }
 
 type verdict = Pass | Expected of int | Fail of finding

@@ -107,6 +107,19 @@ val weak_me_prop : lock_id:int -> prop
 val responsiveness_prop : lock_id:int -> prop
 (** Theorem 4.2 responsiveness ({!Props.responsiveness}); never expected. *)
 
+val abort_liveness_prop : supported:bool -> prop
+(** {!Props.abort_liveness} at the {!Props.default_abort_expect} bound;
+    never expected — an abort must resolve promptly no matter where a
+    crash lands.  Vacuous (and safe to include) when the sweep injects no
+    aborts. *)
+
+val no_lost_wakeup_prop : unit -> prop
+(** {!Props.no_lost_wakeup} at the default overtake bound; never
+    expected.  Needs event recording. *)
+
+val abort_rmr_prop : unit -> prop
+(** {!Props.abort_rmr} at the default bound; never expected. *)
+
 (** Which failure model the enumeration quantifies over: the paper's
     per-process crashes (any single process fails at any instruction), or
     the Jayanti–Jayanti–Joshi system-wide model (every process's
@@ -133,6 +146,14 @@ type cfg = {
           kinds — a focused campaign (e.g. [[Fas]] sweeps only the
           FAS-gap candidates); [None] (the default) sweeps everything *)
   crash_model : crash_model;  (** which failure model the plans quantify over *)
+  abort_timeout : int option;
+      (** the abort-injection axis: [Some t] layers
+          {!Rme_sim.Abort.impatient}[ ~timeout_steps:t ()] over {e every}
+          plan's exploration (including {!No_crash}), so each crash plan
+          is additionally quantified over impatient waiters; [None] (the
+          default) injects no aborts.  Impatience plans are
+          schedule-sensitive, so the explorer runs unreduced under this
+          axis. *)
   jobs : int;  (** 1 = sequential {!Explore.explore}; > 1 = that many domains *)
   split_depth : int;  (** frontier split depth of the parallel explorer *)
 }
@@ -140,7 +161,8 @@ type cfg = {
 val default_cfg : cfg
 (** [{ max_runs_per_plan = 300; max_steps = 4_000; budget = 1;
       site_cap = 96; plan_cap = 256; site_kinds = None;
-      crash_model = Per_process; jobs = 1; split_depth = 1 }] *)
+      crash_model = Per_process; abort_timeout = None; jobs = 1;
+      split_depth = 1 }] *)
 
 (** {1 The sweep} *)
 
@@ -198,6 +220,7 @@ val standard_subject :
   n:int ->
   requests:int ->
   ?cs_yields:int ->
+  ?abortable:bool ->
   recoverability:[ `None | `Weak | `Strong ] ->
   (Engine.Ctx.t -> Harness.lock) ->
   subject
@@ -207,7 +230,10 @@ val standard_subject :
     ME (expected under crashes: the FAS gap) + interval weak-ME +
     responsiveness, both of which must hold (Theorem 4.2).  Weak subjects
     assume the lock registers itself first (lock id 0), which every
-    registered maker does. *)
+    registered maker does.  [abortable] (default false) appends the abort
+    battery — {!abort_liveness_prop}, {!no_lost_wakeup_prop},
+    {!abort_rmr_prop} — for subjects with a real abort path (pair with
+    [cfg.abort_timeout] to actually inject aborts). *)
 
 type verdict =
   | Pass

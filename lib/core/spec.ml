@@ -14,6 +14,7 @@ type t = {
   ff_bound : (int -> int) option;
   table1 : bool;
   crash_safe : bool;
+  abortable : bool;
   make : Lock.maker;
 }
 
@@ -45,6 +46,7 @@ let all =
       ff_bound = const 12;
       table1 = false;
       crash_safe = false;
+      abortable = false;
       make = Mcs.make;
     };
     {
@@ -54,6 +56,7 @@ let all =
       ff_bound = const 14;
       table1 = false;
       crash_safe = false;
+      abortable = false;
       make = Mcs_be.make;
     };
     {
@@ -63,6 +66,7 @@ let all =
       ff_bound = const 10;
       table1 = false;
       crash_safe = false;
+      abortable = false;
       make = Clh.make;
     };
     {
@@ -72,7 +76,18 @@ let all =
       ff_bound = const 20;
       table1 = true;
       crash_safe = true;
+      abortable = false;
       make = Wr_lock.make;
+    };
+    {
+      key = "wr-abort";
+      descr = "WR-Lock with an abortable waiting spin; withdrawal relays the hand-off onward";
+      expectation = expect ~rec_:`Weak "O(1)" "O(1)" "O(1)";
+      ff_bound = const 20;
+      table1 = false;
+      crash_safe = true;
+      abortable = true;
+      make = Wr_lock.make_abort;
     };
     {
       key = "wr-reclaim";
@@ -81,6 +96,7 @@ let all =
       ff_bound = const 34;
       table1 = false;
       crash_safe = true;
+      abortable = false;
       make =
         (fun ctx ->
           let r = Reclaim.create ctx in
@@ -94,6 +110,7 @@ let all =
       ff_bound = const 34;
       table1 = false;
       crash_safe = true;
+      abortable = false;
       make =
         (fun ctx ->
           let r = Reclaim.create ~name:"reclaim-dsm" ~notify:true ctx in
@@ -109,6 +126,7 @@ let all =
       ff_bound = linear 14 16;
       table1 = true;
       crash_safe = true;
+      abortable = false;
       make = Tas_lock.make;
     };
     {
@@ -118,7 +136,30 @@ let all =
       ff_bound = linear 4 20;
       table1 = true;
       crash_safe = true;
+      abortable = false;
       make = Bakery.make;
+    };
+    {
+      key = "bakery-abort";
+      descr = "recoverable Bakery with abortable peer scans; withdrawal relinquishes the ticket";
+      expectation = expect "O(n)" "O(n)" "O(n)";
+      ff_bound = linear 4 20;
+      table1 = false;
+      crash_safe = true;
+      abortable = true;
+      make = Bakery.make_abort;
+    };
+    {
+      key = "tas-abort";
+      descr = "abortable hand-off spinlock: claim/grant protocol, abort races the claim";
+      expectation = expect ~rec_:`None "O(1) uncontended" "O(n) contended" "n/a";
+      (* The round-robin claim scan usually short-circuits at the first
+         registered waiter; only an empty scan walks all n flags. *)
+      ff_bound = linear 2 16;
+      table1 = false;
+      crash_safe = false;
+      abortable = true;
+      make = Tas_abort.make;
     };
     {
       key = "tournament";
@@ -127,6 +168,7 @@ let all =
       ff_bound = logarithmic 20 8;
       table1 = true;
       crash_safe = true;
+      abortable = false;
       make = Tournament.make;
     };
     {
@@ -136,6 +178,7 @@ let all =
       ff_bound = sublog 20 8;
       table1 = true;
       crash_safe = true;
+      abortable = false;
       make = Jjj_tree.make;
     };
     {
@@ -145,6 +188,7 @@ let all =
       ff_bound = const 20;
       table1 = true;
       crash_safe = true;
+      abortable = false;
       make =
         (fun ctx ->
           Kport.as_lock (Kport.create ~name:"ramaraju" ~k:(Rme_sim.Engine.Ctx.n ctx) ctx));
@@ -156,6 +200,7 @@ let all =
       ff_bound = const 38;
       table1 = true;
       crash_safe = true;
+      abortable = false;
       make =
         (fun ctx ->
           Sa_lock.lock
@@ -168,6 +213,7 @@ let all =
       ff_bound = const 38;
       table1 = false;
       crash_safe = true;
+      abortable = false;
       make =
         (fun ctx ->
           Sa_lock.lock
@@ -182,6 +228,7 @@ let all =
       ff_bound = const 38;
       table1 = false;
       crash_safe = true;
+      abortable = false;
       make =
         (fun ctx ->
           Sa_lock.lock
@@ -194,6 +241,7 @@ let all =
       ff_bound = const 38;
       table1 = false;
       crash_safe = true;
+      abortable = false;
       make = (fun ctx -> Ba_lock.lock (Ba_lock.create ~name:"ba-b" ~base:Bakery.make ctx));
     };
     {
@@ -203,6 +251,7 @@ let all =
       ff_bound = const 38;
       table1 = false;
       crash_safe = true;
+      abortable = false;
       make = (fun ctx -> Ba_lock.lock (Ba_lock.create ~name:"ba-t" ~base:Tournament.make ctx));
     };
     {
@@ -212,6 +261,7 @@ let all =
       ff_bound = const 38;
       table1 = true;
       crash_safe = true;
+      abortable = false;
       make = Ba_lock.default;
     };
     {
@@ -221,6 +271,7 @@ let all =
       ff_bound = const 16;
       table1 = false;
       crash_safe = true;
+      abortable = false;
       make = Jjj_sys.make;
     };
     {
@@ -230,6 +281,7 @@ let all =
       ff_bound = sublog 20 24;
       table1 = false;
       crash_safe = true;
+      abortable = false;
       make = Dm_lock.make_over ~name:"dm-jjj" ~base:Jjj_tree.make;
     };
     {
@@ -239,6 +291,7 @@ let all =
       ff_bound = const 62;
       table1 = false;
       crash_safe = true;
+      abortable = false;
       make = Dm_lock.make_over ~name:"dm-ba" ~base:Ba_lock.default;
     };
     {
@@ -248,6 +301,7 @@ let all =
       ff_bound = const 40;
       table1 = false;
       crash_safe = true;
+      abortable = false;
       make =
         (fun ctx ->
           Ba_lock.lock (Ba_lock.create ~name:"ba-tracked" ~track_level:true ~base:Jjj_tree.make ctx));

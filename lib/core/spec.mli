@@ -24,6 +24,12 @@ type t = {
           the asymptotic claim made falsifiable. *)
   table1 : bool;  (** include in the Table-1 reproduction *)
   crash_safe : bool;  (** may be driven with crash plans (false: plain MCS) *)
+  abortable : bool;
+      (** carries a real abort port: may be driven with abort plans
+          ({!Rme_sim.Abort}) and is subject to the abort-liveness and
+          lost-wakeup checkers.  Non-abortable locks can still be probed
+          through {!Rme_locks.Lock.abortable}, which answers
+          [Not_supported]. *)
   make : Rme_locks.Lock.maker;
 }
 

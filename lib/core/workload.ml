@@ -5,14 +5,23 @@ type scenario =
   | Fas_storm of { f : int; rate : float }
   | Random_storm of { crashes : int; rate : float }
   | Batch of { size : int; at_step : int; repeat : int; gap : int }
+  | Impatient of { timeout_steps : int; retries : int; backoff : float }
 
 let pp_scenario ppf = function
   | No_failures -> Fmt.string ppf "none"
   | Fas_storm { f; rate } -> Fmt.pf ppf "fas-storm(F=%d,rate=%g)" f rate
   | Random_storm { crashes; rate } -> Fmt.pf ppf "random-storm(%d,rate=%g)" crashes rate
-  | Batch { size; repeat; _ } -> Fmt.pf ppf "batch(size=%d,repeat=%d)" size repeat
+  | Batch { size; at_step; repeat; gap } ->
+      Fmt.pf ppf "batch(size=%d,at=%d,repeat=%d,gap=%d)" size at_step repeat gap
+  | Impatient { timeout_steps; retries; backoff } ->
+      Fmt.pf ppf "impatient(T=%d,retries=%d,backoff=%g)" timeout_steps retries backoff
 
+(* Accepts both the compact command-line grammar ("fas:3", "impatient:40:3:2")
+   and the exact {!pp_scenario} rendering, so a scenario printed in a log or
+   a report line can be fed straight back in (the round-trip the tests pin). *)
 let scenario_of_string s =
+  let scan fmt f = try Some (Scanf.sscanf s fmt f) with Scanf.Scan_failure _ | Failure _ | End_of_file -> None in
+  let first_some l = List.fold_left (fun acc p -> match acc with Some _ -> acc | None -> p ()) None l in
   match String.split_on_char ':' s with
   | [ "none" ] -> Some No_failures
   | [ "fas"; f ] -> int_of_string_opt f |> Option.map (fun f -> Fas_storm { f; rate = 0.5 })
@@ -21,17 +30,49 @@ let scenario_of_string s =
   | [ "batch"; k ] ->
       int_of_string_opt k
       |> Option.map (fun size -> Batch { size; at_step = 200; repeat = 1; gap = 1000 })
-  | _ -> None
+  | [ "impatient"; t ] ->
+      int_of_string_opt t
+      |> Option.map (fun timeout_steps -> Impatient { timeout_steps; retries = 3; backoff = 2.0 })
+  | [ "impatient"; t; r ] -> (
+      match (int_of_string_opt t, int_of_string_opt r) with
+      | Some timeout_steps, Some retries -> Some (Impatient { timeout_steps; retries; backoff = 2.0 })
+      | _ -> None)
+  | [ "impatient"; t; r; b ] -> (
+      match (int_of_string_opt t, int_of_string_opt r, float_of_string_opt b) with
+      | Some timeout_steps, Some retries, Some backoff ->
+          Some (Impatient { timeout_steps; retries; backoff })
+      | _ -> None)
+  | _ ->
+      first_some
+        [
+          (fun () ->
+            scan "fas-storm(F=%d,rate=%f)%!" (fun f rate -> Fas_storm { f; rate }));
+          (fun () ->
+            scan "random-storm(%d,rate=%f)%!" (fun crashes rate -> Random_storm { crashes; rate }));
+          (fun () ->
+            scan "batch(size=%d,at=%d,repeat=%d,gap=%d)%!" (fun size at_step repeat gap ->
+                Batch { size; at_step; repeat; gap }));
+          (fun () ->
+            scan "impatient(T=%d,retries=%d,backoff=%f)%!" (fun timeout_steps retries backoff ->
+                Impatient { timeout_steps; retries; backoff }));
+        ]
+
+let scenario_grammar = "none | fas:F | storm:K | batch:SIZE | impatient:T[:RETRIES[:BACKOFF]]"
 
 let crash_plan scenario ~seed =
   match scenario with
-  | No_failures -> Crash.none
+  | No_failures | Impatient _ -> Crash.none
   | Fas_storm { f; rate } -> Crash.fas_gap ~seed ~rate ~max_crashes:f ~cell_suffix:".tail" ()
   | Random_storm { crashes; rate } -> Crash.random ~seed ~rate ~max_crashes:crashes ()
   | Batch { size; at_step; repeat; gap } ->
       Crash.all
         (List.init repeat (fun r ->
              Crash.batch ~step:(at_step + (r * gap)) ~pids:(List.init size (fun i -> i))))
+
+let abort_plan scenario =
+  match scenario with
+  | Impatient { timeout_steps; retries; backoff } -> Abort.impatient ~timeout_steps ~retries ~backoff ()
+  | No_failures | Fas_storm _ | Random_storm _ | Batch _ -> Abort.none
 
 type cfg = {
   n : int;
@@ -72,7 +113,7 @@ let run (spec : Spec.t) cfg =
   Harness.run_lock ~record:cfg.record ~max_steps:cfg.max_steps ~cs ~ncs ~n:cfg.n ~model:cfg.model
     ~sched:(Sched.random ~seed:cfg.seed)
     ~crash:(crash_plan cfg.scenario ~seed:(cfg.seed + 7919))
-    ~requests:cfg.requests ~make:spec.Spec.make ()
+    ~abort:(abort_plan cfg.scenario) ~requests:cfg.requests ~make:spec.Spec.make ()
 
 let run_key key cfg = run (Spec.find_exn key) cfg
 
@@ -81,6 +122,7 @@ type measurement = {
   avg_rmr : float;
   avg_super_rmr : float;
   crashes : int;
+  aborts : int;
   max_level : int;
   satisfied : bool;
   me_ok : bool;
@@ -93,6 +135,11 @@ let measure (res : Engine.result) =
     avg_rmr = Engine.avg_rmr res;
     avg_super_rmr = Engine.avg_rmr_super res;
     crashes = res.Engine.total_crashes;
+    aborts =
+      List.length
+        (List.filter
+           (fun (a : Engine.abort_stat) -> a.ab_result = Engine.Res_aborted)
+           res.Engine.aborts);
     max_level = Array.fold_left (fun acc (p : Engine.proc_stats) -> max acc p.max_level) 0 res.Engine.procs;
     satisfied =
       (not res.Engine.deadlocked) && not res.Engine.timed_out
@@ -113,6 +160,7 @@ let repeat_avg spec cfg ~seeds =
     avg_rmr = sum (fun m -> m.avg_rmr) /. k;
     avg_super_rmr = sum (fun m -> m.avg_super_rmr) /. k;
     crashes = List.fold_left (fun acc m -> acc + m.crashes) 0 ms / List.length ms;
+    aborts = List.fold_left (fun acc m -> acc + m.aborts) 0 ms / List.length ms;
     max_level = List.fold_left (fun acc m -> max acc m.max_level) 0 ms;
     satisfied = List.for_all (fun m -> m.satisfied) ms;
     me_ok = List.for_all (fun m -> m.me_ok) ms;

@@ -19,13 +19,28 @@ type scenario =
   | Batch of { size : int; at_step : int; repeat : int; gap : int }
       (** §7.1: [repeat] batches of [size] simultaneous crashes, the first
           at [at_step], then every [gap] steps *)
+  | Impatient of { timeout_steps : int; retries : int; backoff : float }
+      (** timeout/impatience: every waiter that has been in its entry
+          section for [timeout_steps] consecutive steps receives an abort
+          signal, up to [retries] times per super-passage, with the
+          effective timeout multiplied by [backoff] after each abort
+          (deterministic — no crashes, no RNG). *)
 
 val pp_scenario : scenario Fmt.t
 
 val scenario_of_string : string -> scenario option
-(** ["none"], ["fas:F"], ["storm:K"], ["batch:SIZE"]. *)
+(** ["none"], ["fas:F"], ["storm:K"], ["batch:SIZE"],
+    ["impatient:T[:RETRIES[:BACKOFF]]"] — plus the exact {!pp_scenario}
+    rendering of every arm, so printed scenarios round-trip. *)
+
+val scenario_grammar : string
+(** The compact grammar, for usage/error messages. *)
 
 val crash_plan : scenario -> seed:int -> Crash.t
+
+val abort_plan : scenario -> Abort.t
+(** The abort-decision axis a scenario implies: {!Abort.impatient} for
+    [Impatient], {!Abort.none} for every crash-only scenario. *)
 
 type cfg = {
   n : int;
@@ -52,6 +67,7 @@ type measurement = {
   avg_rmr : float;  (** mean RMRs per passage *)
   avg_super_rmr : float;  (** mean RMRs per super-passage *)
   crashes : int;
+  aborts : int;  (** abort signals resolved as [Res_aborted] *)
   max_level : int;  (** deepest BA level reached by any process *)
   satisfied : bool;  (** all requests satisfied (SF) *)
   me_ok : bool;  (** application-CS mutual exclusion held *)

@@ -111,4 +111,5 @@ let as_two_process_lock t ~n:_ =
     Lock.name = t.name;
     acquire = (fun ~pid -> acquire t (side_of pid) ~pid);
     release = (fun ~pid -> release t (side_of pid) ~pid);
+    try_abort = None;
   }

@@ -69,7 +69,7 @@ let release t ~pid =
   release_from t 0 ~pid
 
 let lock t =
-  Lock.instrument ~id:t.id ~name:t.name ~acquire:(acquire t) ~release:(release t)
+  Lock.instrument ~id:t.id ~name:t.name ~acquire:(acquire t) ~release:(release t) ()
 
 let make ~base ctx = lock (create ~base ctx)
 

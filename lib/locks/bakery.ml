@@ -10,7 +10,7 @@ let in_cs = 3
    it from scratch, which is safe because [number] is written exactly once
    at the end. *)
 
-let make_named ~name ctx =
+let make_named ?(abortable = false) ~name ctx =
   let mem = Engine.Ctx.memory ctx in
   let n = Engine.Ctx.n ctx in
   let id = Engine.Ctx.register_lock ctx name in
@@ -44,13 +44,20 @@ let make_named ~name ctx =
         Api.write state.(pid) chosen
       end
       else if s <> chosen then Api.write state.(pid) chosen;
+      let wait cell cond =
+        if abortable then begin
+          Api.spin_abortable cell cond;
+          if Api.poll_abort () then raise Api.Abort_signal
+        end
+        else Api.spin_until cell cond
+      in
       let my = Api.read number.(pid) in
       for j = 0 to n - 1 do
         if j <> pid then begin
-          Api.spin_until choosing.(j) (Api.Eq 0);
+          wait choosing.(j) (Api.Eq 0);
           (* Wait while (number.(j), j) precedes (my, pid), lexicographically. *)
           let precedes nj = nj <> 0 && (nj < my || (nj = my && j < pid)) in
-          Api.spin_until number.(j) (Api.Pred (fun v -> not (precedes v)))
+          wait number.(j) (Api.Pred (fun v -> not (precedes v)))
         end
       done;
       Api.write state.(pid) in_cs
@@ -64,6 +71,19 @@ let make_named ~name ctx =
     Api.write number.(pid) 0;
     Api.write state.(pid) idle
   in
-  Lock.instrument ~id ~name ~acquire ~release
+  (* Withdrawing from the bakery is release in miniature: relinquish the
+     number (which unblocks every peer waiting on it) and fall back to
+     Idle.  There is no hand-off to race — admission is by observation of
+     the other tickets, not by a grant — so the abort always succeeds.
+     Both writes are idempotent, matching the lock's recovery story. *)
+  let try_abort ~pid =
+    Api.write number.(pid) 0;
+    Api.write state.(pid) idle;
+    Harness.Aborted
+  in
+  if abortable then Lock.instrument ~id ~name ~try_abort ~acquire ~release ()
+  else Lock.instrument ~id ~name ~acquire ~release ()
 
 let make ctx = make_named ~name:"bakery" ctx
+
+let make_abort ctx = make_named ~abortable:true ~name:"bakery-abort" ctx

@@ -17,4 +17,11 @@
 
 val make : Lock.maker
 
-val make_named : name:string -> Lock.maker
+val make_named : ?abortable:bool -> name:string -> Lock.maker
+(** With [~abortable:true] the peer-scan spins are abortable and the lock
+    carries an abort port: withdrawing relinquishes the ticket
+    ([number := 0], back to Idle) — admission is by observation, not by
+    hand-off, so the abort never loses a race. *)
+
+val make_abort : Lock.maker
+(** [make_abort = make_named ~abortable:true ~name:"bakery-abort"]. *)

@@ -56,4 +56,4 @@ let make ctx =
     (* Recycle the predecessor's node for my next request (CLH hand-off). *)
     t.mine.(pid) <- t.pred.(pid)
   in
-  Lock.instrument ~id ~name:"clh" ~acquire ~release
+  Lock.instrument ~id ~name:"clh" ~acquire ~release ()

@@ -23,5 +23,6 @@ let lock t =
     ~release:(fun ~pid ->
       t.base.Lock.release ~pid;
       Tickets.exit t.tk ~pid)
+    ()
 
 let make_over ~name ~base ctx = lock (create ~name ~base ctx)

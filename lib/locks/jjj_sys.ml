@@ -12,5 +12,6 @@ let lock t =
   Lock.instrument ~id:t.id ~name:t.name
     ~acquire:(fun ~pid -> Tickets.enter t.tk ~pid)
     ~release:(fun ~pid -> Tickets.exit t.tk ~pid)
+    ()
 
 let make ctx = lock (create ctx)

@@ -42,6 +42,6 @@ let make_named ?k ~name ctx =
       Kport.release (node_of pid l) ~port:(port_of pid l) ~pid
     done
   in
-  Lock.instrument ~id ~name ~acquire ~release
+  Lock.instrument ~id ~name ~acquire ~release ()
 
 let make ctx = make_named ~name:"jjj" ctx

@@ -107,4 +107,5 @@ let as_lock t =
     Lock.name = t.name;
     acquire = (fun ~pid -> acquire t ~port:pid ~pid);
     release = (fun ~pid -> release t ~port:pid ~pid);
+    try_abort = None;
   }

@@ -9,15 +9,37 @@
 
 open Rme_sim
 
-type t = Harness.lock = { name : string; acquire : pid:int -> unit; release : pid:int -> unit }
+type t = Harness.lock = {
+  name : string;
+  acquire : pid:int -> unit;
+  release : pid:int -> unit;
+  try_abort : (pid:int -> Harness.abort_outcome) option;
+}
 
 type maker = Engine.Ctx.t -> t
 (** Lock constructor: allocates shared cells and registers the lock. *)
 
-val instrument : id:int -> name:string -> acquire:(pid:int -> unit) -> release:(pid:int -> unit) -> t
+val instrument :
+  id:int ->
+  name:string ->
+  ?try_abort:(pid:int -> Harness.abort_outcome) ->
+  acquire:(pid:int -> unit) ->
+  release:(pid:int -> unit) ->
+  unit ->
+  t
 (** Wrap segment implementations with {!Rme_sim.Event.note} milestones:
     [Lock_enter id] / [Lock_acquired id] around [acquire] and
-    [Lock_release id] / [Lock_released id] around [release]. *)
+    [Lock_release id] / [Lock_released id] around [release].  When
+    [try_abort] is given it is wrapped too: [Abort_request id] before the
+    protocol, then [Abort_done id] on [Aborted] or [Abort_lost_race id] on
+    [Acquired_instead] ([Not_supported] emits no completion milestone —
+    the signal resolves at the eventual [Lock_acquired]). *)
+
+val abortable : t -> t
+(** Adapter for the conformance matrix: a lock without an abort port gets
+    [try_abort = Some (fun ~pid:_ -> Not_supported)], so probing any
+    registry lock is well-defined.  Locks that already carry a port are
+    returned unchanged. *)
 
 (** Side of a dual-port lock (the arbitrator's two ports, §5.1.1). *)
 type side = Left | Right

@@ -40,4 +40,4 @@ let make ctx =
       Api.write succ.Nodes.locked 0
     end
   in
-  Lock.instrument ~id ~name:"mcs" ~acquire ~release
+  Lock.instrument ~id ~name:"mcs" ~acquire ~release ()

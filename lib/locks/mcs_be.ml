@@ -36,4 +36,4 @@ let make ctx =
     let next = Api.read node.Nodes.next in
     if next <> node.Nodes.id then Api.write (Nodes.get t.reg next).Nodes.locked 0
   in
-  Lock.instrument ~id ~name:"mcs-be" ~acquire ~release
+  Lock.instrument ~id ~name:"mcs-be" ~acquire ~release ()

@@ -91,6 +91,7 @@ let reader_lock t =
     Lock.name = t.name ^ ".reader";
     acquire = (fun ~pid -> read_acquire t ~pid);
     release = (fun ~pid -> read_release t ~pid);
+    try_abort = None;
   }
 
 let writer_lock_view t =
@@ -98,4 +99,5 @@ let writer_lock_view t =
     Lock.name = t.name ^ ".writer";
     acquire = (fun ~pid -> write_acquire t ~pid);
     release = (fun ~pid -> write_release t ~pid);
+    try_abort = None;
   }

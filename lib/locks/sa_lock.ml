@@ -80,4 +80,4 @@ let lock t =
     enter_back t ~pid
   in
   let release ~pid = release_with t ~pid ~core_release:(fun () -> core.Lock.release ~pid) in
-  Lock.instrument ~id:t.id ~name:t.name ~acquire ~release
+  Lock.instrument ~id:t.id ~name:t.name ~acquire ~release ()

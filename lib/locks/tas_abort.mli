@@ -1,0 +1,32 @@
+(** An abortable hand-off spinlock — the abort-semantics exemplar.
+
+    Ownership is transferred by explicit hand-off: a releaser {e claims} a
+    registered waiter (CAS on its flag), transfers [owner], then posts a
+    per-waiter grant.  Aborting races the claim: either the registration
+    is cancelled in time ([Aborted]) or the claim already won and the
+    hand-off is unstoppable — the aborting process must accept the lock
+    ([Acquired_instead]).
+
+    The [naive] variant plants the classic lost-wakeup bug: its abort
+    consumes a posted grant and leaves anyway, destroying the hand-off.
+    The remaining waiters — including the aborter, on its retry — park on
+    grants nobody will ever post, and the system deadlocks.  This is the
+    planted witness for {!Rme_check.Props.no_lost_wakeup}.
+
+    Neither variant is crash-safe: the family exists to exercise abort
+    semantics in isolation ({!Wr_lock.make_abort} covers crash + abort). *)
+
+type t
+
+val create : ?name:string -> ?naive:bool -> Rme_sim.Engine.Ctx.t -> t
+
+val lock : t -> Lock.t
+
+val lock_id : t -> int
+
+val make : Lock.maker
+(** The correct abortable hand-off lock (registry key ["tas-abort"]). *)
+
+val make_naive : Lock.maker
+(** The planted lost-wakeup variant (named ["tas-abort-naive"]; not in the
+    registry — used by the negative tests and the chaos demos). *)

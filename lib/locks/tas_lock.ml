@@ -14,6 +14,6 @@ let make_named ~name ctx =
     let (_ : bool) = Api.cas owner ~expect:(pid + 1) ~value:0 in
     ()
   in
-  Lock.instrument ~id ~name ~acquire ~release
+  Lock.instrument ~id ~name ~acquire ~release ()
 
 let make ctx = make_named ~name:"tas" ctx

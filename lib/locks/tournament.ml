@@ -30,6 +30,6 @@ let make_named ~name ctx =
       Arbitrator.release (node_of pid l) (side_of pid l) ~pid
     done
   in
-  Lock.instrument ~id ~name ~acquire ~release
+  Lock.instrument ~id ~name ~acquire ~release ()
 
 let make ctx = make_named ~name:"tournament" ctx

@@ -99,7 +99,7 @@ let recover_segment t ~pid =
     Api.write t.state.(pid) initializing
   end
 
-let enter_segment t ~pid =
+let enter_segment ?(abortable = false) t ~pid =
   if Api.read t.state.(pid) = initializing then begin
     if Api.read t.mine.(pid) = Nodes.null then begin
       let node = t.alloc ~pid t.reg in
@@ -127,9 +127,36 @@ let enter_segment t ~pid =
       let pnode = Nodes.get t.reg pred in
       let (_ : bool) = Api.cas pnode.Nodes.next ~expect:Nodes.null ~value:mine in
       (* Use the field contents, not the CAS outcome (idempotence). *)
-      if Api.read pnode.Nodes.next = mine then Api.spin_until node.Nodes.locked (Api.Eq 0)
+      if Api.read pnode.Nodes.next = mine then
+        if abortable then begin
+          Api.spin_abortable node.Nodes.locked (Api.Eq 0);
+          if Api.poll_abort () then raise Api.Abort_signal
+        end
+        else Api.spin_until node.Nodes.locked (Api.Eq 0)
     end;
     Api.write t.state.(pid) in_cs
+  end
+
+(* Abort protocol.  The MCS queue has no mid-queue unlink: once the node
+   is appended, the predecessor will eventually hand this process the lock
+   by clearing [locked].  A withdrawal therefore waits for that incoming
+   hand-off and relays it straight to the successor through the wait-free
+   exit — never entering the CS — so the chain stays intact.  If the grant
+   already landed when the protocol starts, the abort lost the race and
+   the process keeps the lock. *)
+let try_abort t ~pid =
+  (* Reachable only from the waiting spin: state = Trying, node enqueued,
+     predecessor known. *)
+  let mine = Api.read t.mine.(pid) in
+  let node = Nodes.get t.reg mine in
+  if Api.read node.Nodes.locked = 0 then begin
+    Api.write t.state.(pid) in_cs;
+    Harness.Acquired_instead
+  end
+  else begin
+    Api.spin_until node.Nodes.locked (Api.Eq 0);
+    exit_segment t ~pid;
+    Harness.Aborted
   end
 
 let lock t =
@@ -138,8 +165,20 @@ let lock t =
       recover_segment t ~pid;
       enter_segment t ~pid)
     ~release:(fun ~pid -> exit_segment t ~pid)
+    ()
+
+let lock_abortable t =
+  Lock.instrument ~id:t.id ~name:t.name
+    ~try_abort:(fun ~pid -> try_abort t ~pid)
+    ~acquire:(fun ~pid ->
+      recover_segment t ~pid;
+      enter_segment ~abortable:true t ~pid)
+    ~release:(fun ~pid -> exit_segment t ~pid)
+    ()
 
 let make ctx = lock (create ctx)
+
+let make_abort ctx = lock_abortable (create ~name:"wr-abort" ctx)
 
 let owner_of_node t id = (Nodes.get t.reg id).Nodes.owner
 

@@ -35,10 +35,20 @@ val create :
 
 val lock : t -> Lock.t
 
+val lock_abortable : t -> Lock.t
+(** Like {!lock}, but the waiting spin is abortable and the lock carries an
+    abort port.  The queue has no mid-queue unlink, so a withdrawal waits
+    for the incoming hand-off and relays it to the successor through the
+    wait-free exit; a grant that already landed means the abort lost the
+    race ([Acquired_instead]). *)
+
 val lock_id : t -> int
 
 val make : Lock.maker
 (** [make ctx = lock (create ctx)]. *)
+
+val make_abort : Lock.maker
+(** [make_abort ctx = lock_abortable (create ~name:"wr-abort" ctx)]. *)
 
 val registry : t -> Nodes.registry
 

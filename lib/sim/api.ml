@@ -27,9 +27,13 @@ type _ view =
   | V_write_close_unsafe : int * Cell.t * int -> unit view
   | V_faa : Cell.t * int -> int view
   | V_spin : Cell.t * cond -> unit view
+  | V_spin_abortable : Cell.t * cond -> unit view
   | V_note : Event.note -> unit view
   | V_get_done : int view
+  | V_poll_abort : bool view
   | V_yield : unit view
+
+exception Abort_signal
 
 let kind_of_view : type a. a view -> kind = function
   | V_read _ -> Read
@@ -41,8 +45,10 @@ let kind_of_view : type a. a view -> kind = function
   | V_write_close_unsafe _ -> Write
   | V_faa _ -> Faa
   | V_spin _ -> Spin
+  | V_spin_abortable _ -> Spin
   | V_note _ -> Note
   | V_get_done -> Nop
+  | V_poll_abort -> Nop
   | V_yield -> Nop
 
 let cell_of_view : type a. a view -> Cell.t option = function
@@ -55,7 +61,8 @@ let cell_of_view : type a. a view -> Cell.t option = function
   | V_write_close_unsafe (_, c, _) -> Some c
   | V_faa (c, _) -> Some c
   | V_spin (c, _) -> Some c
-  | V_note _ | V_get_done | V_yield -> None
+  | V_spin_abortable (c, _) -> Some c
+  | V_note _ | V_get_done | V_poll_abort | V_yield -> None
 
 type _ Effect.t += Instr : 'a view -> 'a Effect.t
 
@@ -76,6 +83,10 @@ let write_close_unsafe ~lock c v = Effect.perform (Instr (V_write_close_unsafe (
 let fas_persist c v ~dst = Effect.perform (Instr (V_fas_persist (c, v, dst)))
 
 let spin_until c cond = Effect.perform (Instr (V_spin (c, cond)))
+
+let spin_abortable c cond = Effect.perform (Instr (V_spin_abortable (c, cond)))
+
+let poll_abort () = Effect.perform (Instr V_poll_abort)
 
 let note n = Effect.perform (Instr (V_note n))
 

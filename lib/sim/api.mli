@@ -38,9 +38,21 @@ type _ view =
           result into [pred]). *)
   | V_faa : Cell.t * int -> int view
   | V_spin : Cell.t * cond -> unit view
+  | V_spin_abortable : Cell.t * cond -> unit view
+      (** Like [V_spin] but also completes — with the condition possibly
+          still false — when the spinning process carries a pending abort
+          signal.  Follow with {!poll_abort} to tell the two wake reasons
+          apart. *)
   | V_note : Event.note -> unit view
   | V_get_done : int view
+  | V_poll_abort : bool view
   | V_yield : unit view
+
+exception Abort_signal
+(** Raised by abortable lock [acquire] code when it observes a pending
+    abort signal (via {!poll_abort} after {!spin_abortable}); caught by the
+    harness body, which then runs the lock's [try_abort] protocol.  Never
+    raised by the engine itself. *)
 
 val kind_of_view : 'a view -> kind
 
@@ -83,6 +95,17 @@ val spin_until : Cell.t -> cond -> unit
     process and wakes it when a write makes the condition true; RMR
     accounting charges the initial fetch and one re-fetch per wake, which is
     the standard O(1)-per-handoff cost of local spinning. *)
+
+val spin_abortable : Cell.t -> cond -> unit
+(** Local-spin wait that an abort signal can interrupt: parks like
+    {!spin_until} but additionally wakes (and returns) when the engine has
+    flagged the process for abort.  On return the condition may still be
+    false — call {!poll_abort} and raise {!Abort_signal} to hand control to
+    the abort protocol.  RMR accounting is identical to {!spin_until}. *)
+
+val poll_abort : unit -> bool
+(** [true] iff the calling process carries a pending (unresolved) abort
+    signal.  Free: no RMRs, but a scheduling point. *)
 
 val note : Event.note -> unit
 (** Emit a history event (free: no RMRs, but it is a scheduling point). *)

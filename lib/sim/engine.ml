@@ -19,6 +19,28 @@ type proc_stats = { passages : passage list; crashes : int; completed : int; max
 
 type lock_stats = { lock_name : string; max_occupancy : int; unsafe_crashes : int }
 
+(* How one delivered abort signal resolved. *)
+type abort_result = Res_aborted | Res_lost_race | Res_acquired | Res_crashed | Res_pending
+
+type abort_stat = {
+  ab_pid : int;
+  ab_signal_step : int;
+  ab_op_index : int;  (* victim op index of an on-op signal; -1 for async *)
+  ab_resolved_step : int;  (* -1 while pending *)
+  ab_own_steps : int;  (* victim's own steps from signal to resolution *)
+  ab_rmr : int;  (* RMRs the victim incurred between signal and resolution *)
+  ab_result : abort_result;
+}
+
+let pp_abort_result ppf r =
+  Fmt.string ppf
+    (match r with
+    | Res_aborted -> "aborted"
+    | Res_lost_race -> "lost-race"
+    | Res_acquired -> "acquired"
+    | Res_crashed -> "crashed"
+    | Res_pending -> "pending")
+
 type stall_kind = Deadlock | Livelock | Starvation | Underbudget
 
 type stall = { stall_kind : stall_kind; culprits : (int * string) list }
@@ -46,12 +68,18 @@ type result = {
   deadlocked : bool;
   timed_out : bool;
   stall : stall option;
+  aborts : abort_stat list;
   events : Event.t list;
 }
 
 type status = Stopped | Suspended : 'a Api.view * ('a, status) Effect.Deep.continuation -> status
 
-type parked = { pk : (unit, status) Effect.Deep.continuation; pcell : Cell.t; pcond : Api.cond }
+type parked = {
+  pk : (unit, status) Effect.Deep.continuation;
+  pcell : Cell.t;
+  pcond : Api.cond;
+  pabort : bool;  (* abortable park: an abort signal also wakes it *)
+}
 
 type pstate = Start | Ready of status | Parked of parked | Woken of parked | Halted
 
@@ -91,6 +119,9 @@ type t = {
   n : int;
   sched : Sched.t;
   crash : Crash.t;
+  abort : Abort.t;
+  has_abort : bool;  (* abort != Abort.none: gates all abort bookkeeping *)
+  mutable abort_view : Abort.view;  (* oracles over this engine, built once *)
   record : bool;
   trace_ops : bool;
   max_steps : int;
@@ -116,6 +147,20 @@ type t = {
   last_sched : int array;  (* step at which each pid last took a step; -1 if never *)
   unsafe_open : int list array;
   holding : int list array;
+  (* Abort axis: a pending signal per pid, its accounting, and the entry
+     oracles the plans' async decisions read.  [entry_since] holds the
+     global step at which the process entered its (outermost) entry
+     section, -1 outside one; [ab_streak] counts consecutive aborts of the
+     current super-passage (reset on acquire / lost race / crash). *)
+  ab_flag : bool array;
+  ab_signal_step : int array;
+  ab_op_origin : int array;
+  ab_own : int array;
+  ab_rmr_acc : int array;
+  ab_streak : int array;
+  entry_depth : int array;
+  entry_since : int array;
+  ab_stats : abort_stat Vec.t;
   in_passage : bool array;
   in_app_cs : bool array;
   passage_rmr : int array;
@@ -173,12 +218,14 @@ let ans_tag : type a. a Api.view -> int =
   | Api.V_faa _ -> jt_ans_int
   | Api.V_get_done -> jt_ans_int
   | Api.V_cas _ -> jt_ans_bool
+  | Api.V_poll_abort -> jt_ans_bool
   | Api.V_write _ -> jt_ans_unit
   | Api.V_write_close_unsafe _ -> jt_ans_unit
   | Api.V_fas_persist _ -> jt_ans_unit
   | Api.V_note _ -> jt_ans_unit
   | Api.V_yield -> jt_ans_unit
   | Api.V_spin _ -> jt_ans_unit
+  | Api.V_spin_abortable _ -> jt_ans_unit
 
 let ans_value : type a. a Api.view -> a -> int =
  fun view res ->
@@ -189,12 +236,14 @@ let ans_value : type a. a Api.view -> a -> int =
   | Api.V_faa _ -> res
   | Api.V_get_done -> res
   | Api.V_cas _ -> Bool.to_int res
+  | Api.V_poll_abort -> Bool.to_int res
   | Api.V_write _ -> 0
   | Api.V_write_close_unsafe _ -> 0
   | Api.V_fas_persist _ -> 0
   | Api.V_note _ -> 0
   | Api.V_yield -> 0
   | Api.V_spin _ -> 0
+  | Api.V_spin_abortable _ -> 0
 
 let diverged what = failwith ("Engine: journal replay divergence (" ^ what ^ ")")
 
@@ -222,6 +271,9 @@ let continue_ans : type a. a Api.view -> (a, status) Effect.Deep.continuation ->
   | Api.V_cas _ ->
       if tag <> jt_ans_bool then diverged "expected a bool answer";
       Effect.Deep.continue k (value <> 0)
+  | Api.V_poll_abort ->
+      if tag <> jt_ans_bool then diverged "expected a bool answer";
+      Effect.Deep.continue k (value <> 0)
   | Api.V_write _ ->
       if tag <> jt_ans_unit then diverged "expected a unit answer";
       Effect.Deep.continue k ()
@@ -238,6 +290,9 @@ let continue_ans : type a. a Api.view -> (a, status) Effect.Deep.continuation ->
       if tag <> jt_ans_unit then diverged "expected a unit answer";
       Effect.Deep.continue k ()
   | Api.V_spin _ ->
+      if tag <> jt_ans_unit then diverged "expected a unit answer";
+      Effect.Deep.continue k ()
+  | Api.V_spin_abortable _ ->
       if tag <> jt_ans_unit then diverged "expected a unit answer";
       Effect.Deep.continue k ()
 
@@ -257,7 +312,47 @@ let charge ?(kind = Api.Read) eng pid rmr =
   if rmr > 0 then begin
     eng.total_rmr <- eng.total_rmr + rmr;
     eng.rmr_by_kind.(kind_code kind) <- eng.rmr_by_kind.(kind_code kind) + rmr;
-    if eng.in_passage.(pid) then eng.passage_rmr.(pid) <- eng.passage_rmr.(pid) + rmr
+    if eng.in_passage.(pid) then eng.passage_rmr.(pid) <- eng.passage_rmr.(pid) + rmr;
+    if eng.has_abort && eng.ab_flag.(pid) then
+      eng.ab_rmr_acc.(pid) <- eng.ab_rmr_acc.(pid) + rmr
+  end
+
+(* Close the books on [pid]'s pending abort signal. *)
+let resolve_abort eng pid result =
+  if eng.ab_flag.(pid) then begin
+    Vec.push eng.ab_stats
+      {
+        ab_pid = pid;
+        ab_signal_step = eng.ab_signal_step.(pid);
+        ab_op_index = eng.ab_op_origin.(pid);
+        ab_resolved_step = eng.step;
+        ab_own_steps = eng.ab_own.(pid);
+        ab_rmr = eng.ab_rmr_acc.(pid);
+        ab_result = result;
+      };
+    eng.ab_flag.(pid) <- false
+  end
+
+(* Deliver an abort signal.  Only a live process inside some lock's entry
+   section is flagged; re-signalling a flagged victim is a no-op, so blind
+   plans are harmless.  An abortable parked victim is woken so it can
+   observe the flag. *)
+let signal_abort eng ~origin pid =
+  if pid >= 0 && pid < eng.n && eng.entry_depth.(pid) > 0 && not eng.ab_flag.(pid) then begin
+    match eng.states.(pid) with
+    | Halted -> ()
+    | (Start | Ready _ | Parked _ | Woken _) as st ->
+        eng.ab_flag.(pid) <- true;
+        eng.ab_signal_step.(pid) <- eng.step;
+        eng.ab_op_origin.(pid) <- origin;
+        eng.ab_own.(pid) <- 0;
+        eng.ab_rmr_acc.(pid) <- 0;
+        record_event eng
+          (Event.Note
+             { step = eng.step; pid; super = eng.completed.(pid); note = Event.Abort_signal });
+        (match st with
+        | Parked p when p.pabort -> eng.states.(pid) <- Woken p
+        | _ -> ())
   end
 
 let close_passage eng pid ~completed =
@@ -290,7 +385,11 @@ let handle_note eng pid (n : Event.note) =
   | Seg Ncs_begin -> ()
   | Seg Req_begin ->
       (* A restart after a crash begins a new passage of the same
-         super-passage: the super id is the index of the pending request. *)
+         super-passage: the super id is the index of the pending request.
+         A crash already closed its passage; a retry after an {e abort}
+         reaches here with the abandoned passage still open — close it as
+         incomplete so its RMRs stay accounted per passage. *)
+      close_passage eng pid ~completed:false;
       eng.in_passage.(pid) <- true;
       eng.passage_super.(pid) <- eng.completed.(pid);
       eng.passage_start.(pid) <- eng.step;
@@ -309,11 +408,50 @@ let handle_note eng pid (n : Event.note) =
   | Seg Req_done ->
       eng.completed.(pid) <- eng.completed.(pid) + 1;
       eng.last_progress.(pid) <- eng.step;
-      close_passage eng pid ~completed:true
-  | Lock_acquired id -> enter_lock_cs eng pid id
+      close_passage eng pid ~completed:true;
+      if eng.has_abort then begin
+        (* Defensive: a request can only finish outside every entry
+           section, so clear any stale tracking. *)
+        eng.entry_depth.(pid) <- 0;
+        eng.entry_since.(pid) <- -1;
+        eng.ab_streak.(pid) <- 0
+      end
+  | Lock_enter _ ->
+      if eng.has_abort then begin
+        if eng.entry_depth.(pid) = 0 then eng.entry_since.(pid) <- eng.step;
+        eng.entry_depth.(pid) <- eng.entry_depth.(pid) + 1
+      end
+  | Lock_acquired id ->
+      if eng.has_abort then begin
+        eng.entry_depth.(pid) <- max 0 (eng.entry_depth.(pid) - 1);
+        if eng.entry_depth.(pid) = 0 then begin
+          eng.entry_since.(pid) <- -1;
+          resolve_abort eng pid Res_acquired;
+          eng.ab_streak.(pid) <- 0
+        end
+      end;
+      enter_lock_cs eng pid id
   | Lock_release id -> leave_lock_cs eng pid id
   | Level l -> if l > eng.level_max.(pid) then eng.level_max.(pid) <- l
-  | Lock_enter _ | Lock_released _ | Path _ | Custom _ -> ()
+  | Abort_done _ ->
+      if eng.has_abort then begin
+        resolve_abort eng pid Res_aborted;
+        eng.ab_streak.(pid) <- eng.ab_streak.(pid) + 1;
+        eng.entry_depth.(pid) <- 0;
+        eng.entry_since.(pid) <- -1
+      end
+  | Abort_lost_race id ->
+      (* The abort raced the handoff and lost: the process now holds the
+         lock even though [Lock_acquired] never fired on this path, so the
+         occupancy/ME bookkeeping enters the CS here. *)
+      if eng.has_abort then begin
+        resolve_abort eng pid Res_lost_race;
+        eng.ab_streak.(pid) <- 0;
+        eng.entry_depth.(pid) <- 0;
+        eng.entry_since.(pid) <- -1
+      end;
+      enter_lock_cs eng pid id
+  | Abort_signal | Abort_request _ | Lock_released _ | Path _ | Custom _ -> ()
 
 let open_unsafe eng pid lock =
   if not (List.mem lock eng.unsafe_open.(pid)) then
@@ -350,8 +488,10 @@ let apply_view : type a. t -> int -> a Api.view -> a * int =
       handle_note eng pid n;
       ((), 0)
   | Api.V_get_done -> (eng.completed.(pid), 0)
+  | Api.V_poll_abort -> (eng.ab_flag.(pid), 0)
   | Api.V_yield -> ((), 0)
   | Api.V_spin _ -> assert false (* handled by [exec] *)
+  | Api.V_spin_abortable _ -> assert false (* handled by [exec] *)
 
 let mutates : Api.kind -> bool = function
   | Api.Write | Api.Cas | Api.Fas | Api.Faa -> true
@@ -415,6 +555,12 @@ let do_crash eng pid (kont : (unit -> unit) option) =
     eng.global_cs <- eng.global_cs - 1
   end;
   close_passage eng pid ~completed:false;
+  if eng.has_abort then begin
+    resolve_abort eng pid Res_crashed;
+    eng.entry_depth.(pid) <- 0;
+    eng.entry_since.(pid) <- -1;
+    eng.ab_streak.(pid) <- 0
+  end;
   Memory.forget eng.mem ~pid;
   eng.unsafe_open.(pid) <- [];
   (match kont with
@@ -484,6 +630,11 @@ let exec eng pid (st : status) =
   | Stopped -> assert false
   | Suspended (view, k) -> (
       let info = op_info eng pid view in
+      (* The abort consult precedes the crash consult, so a signal fired on
+         an op the crash plan then suppresses still counts as delivered —
+         and [replay_plan] winds both plans in the same order. *)
+      if eng.has_abort && Abort.on_op eng.abort info then
+        signal_abort eng ~origin:info.Crash.op_index pid;
       match Crash.on_op eng.crash info with
       | Crash Before -> do_crash eng pid (Some (discontinue_of k))
       | (No_crash | Crash After) as decision -> (
@@ -497,7 +648,17 @@ let exec eng pid (st : status) =
                 jpush eng (jt_ans_unit lor (pid lsl 3)) 0;
                 absorb eng pid (Effect.Deep.continue k ())
               end
-              else park eng pid { pk = k; pcell = cell; pcond = cond }
+              else park eng pid { pk = k; pcell = cell; pcond = cond; pabort = false }
+          | Api.V_spin_abortable (cell, cond) ->
+              let v, rmr = Memory.read eng.mem ~pid cell in
+              charge ~kind:Api.Spin eng pid rmr;
+              record_op eng pid view;
+              if decision = Crash After then do_crash eng pid (Some (discontinue_of k))
+              else if Api.cond_holds cond v || eng.ab_flag.(pid) then begin
+                jpush eng (jt_ans_unit lor (pid lsl 3)) 0;
+                absorb eng pid (Effect.Deep.continue k ())
+              end
+              else park eng pid { pk = k; pcell = cell; pcond = cond; pabort = true }
           | _ ->
               let res, rmr = apply_view eng pid view in
               charge ~kind:(Api.kind_of_view view) eng pid rmr;
@@ -512,6 +673,9 @@ let exec eng pid (st : status) =
               end))
 
 let step_process eng pid =
+  (* Steps taken while the abort flag is up are the victim's own resolving
+     steps — the quantity [Props.abort_liveness] bounds. *)
+  if eng.has_abort && eng.ab_flag.(pid) then eng.ab_own.(pid) <- eng.ab_own.(pid) + 1;
   match eng.states.(pid) with
   | Start ->
       let body = eng.body in
@@ -521,7 +685,7 @@ let step_process eng pid =
   | Woken p ->
       let v, rmr = Memory.read eng.mem ~pid p.pcell in
       charge ~kind:Api.Spin eng pid rmr;
-      if Api.cond_holds p.pcond v then begin
+      if Api.cond_holds p.pcond v || (p.pabort && eng.ab_flag.(pid)) then begin
         jpush eng (jt_ans_unit lor (pid lsl 3)) 0;
         absorb eng pid (Effect.Deep.continue p.pk ())
       end
@@ -584,6 +748,13 @@ let state_key eng =
     h := hmix !h (Bool.to_int eng.in_app_cs.(p));
     h := hmix !h eng.passage_rmr.(p);
     h := hmix !h eng.passage_super.(p);
+    (* Abort state, minus global-step quantities ([entry_since],
+       [ab_signal_step]) — excluded like latencies, per the POR contract. *)
+    h := hmix !h (Bool.to_int eng.ab_flag.(p));
+    h := hmix !h eng.ab_own.(p);
+    h := hmix !h eng.ab_rmr_acc.(p);
+    h := hmix !h eng.ab_streak.(p);
+    h := hmix !h eng.entry_depth.(p);
     List.iter (fun l -> h := hmix !h (l + 1)) eng.unsafe_open.(p);
     h := hmix !h (-2);
     List.iter (fun l -> h := hmix !h (l + 1)) eng.holding.(p);
@@ -601,6 +772,18 @@ let state_key eng =
   let h = ref (hmix 0 eng.total_rmr) in
   Array.iter (fun v -> h := hmix !h v) eng.rmr_by_kind;
   h := hmix !h eng.system_crashes;
+  Vec.iter
+    (fun (a : abort_stat) ->
+      h :=
+        hmix
+          (hmix (hmix (hmix !h (a.ab_pid + 1)) a.ab_own_steps) a.ab_rmr)
+          (match a.ab_result with
+          | Res_aborted -> 1
+          | Res_lost_race -> 2
+          | Res_acquired -> 3
+          | Res_crashed -> 4
+          | Res_pending -> 5))
+    eng.ab_stats;
   key.((3 * n) + nlocks + 1) <- !h;
   key.((3 * n) + nlocks + 2) <- eng.global_cs;
   key.((3 * n) + nlocks + 3) <- eng.global_cs_max;
@@ -679,6 +862,21 @@ let finish eng =
           unsafe_crashes = eng.unsafe_crashes.(id);
         })
   in
+  let pending_aborts = ref [] in
+  for pid = eng.n - 1 downto 0 do
+    if eng.ab_flag.(pid) then
+      pending_aborts :=
+        {
+          ab_pid = pid;
+          ab_signal_step = eng.ab_signal_step.(pid);
+          ab_op_index = eng.ab_op_origin.(pid);
+          ab_resolved_step = -1;
+          ab_own_steps = eng.ab_own.(pid);
+          ab_rmr = eng.ab_rmr_acc.(pid);
+          ab_result = Res_pending;
+        }
+        :: !pending_aborts
+  done;
   {
     steps = eng.step;
     total_rmr = eng.total_rmr;
@@ -694,6 +892,7 @@ let finish eng =
     deadlocked = eng.deadlocked;
     timed_out = eng.timed_out;
     stall = classify_stall eng;
+    aborts = Vec.to_list eng.ab_stats @ !pending_aborts;
     events = Vec.to_list eng.events;
   }
 
@@ -706,10 +905,20 @@ let finish eng =
    [sched], [crash], [setup] and [body] arguments are themselves
    domain-safe: a stateful scheduler or crash plan must be built fresh per
    run, and the closures must not capture shared mutable state. *)
+(* The oracles an abort plan's async decisions read, closed over the live
+   engine.  Built once per run, only when an abort plan is present. *)
+let make_abort_view eng =
+  {
+    Abort.n = eng.n;
+    waiting =
+      (fun pid -> if eng.entry_since.(pid) < 0 then -1 else eng.step - eng.entry_since.(pid));
+    streak = (fun pid -> eng.ab_streak.(pid));
+  }
+
 let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_window
     ?(on_crash = fun ~pid:_ ~step:_ -> ()) ?(on_op = fun _ -> ()) ?footprints
-    ?(footprint_crashy = fun _ -> false) ?(state_key_at = -1) ?(on_state_key = fun _ -> ()) ~n
-    ~model ~sched ~crash ~setup ~body () =
+    ?(footprint_crashy = fun _ -> false) ?(state_key_at = -1) ?(on_state_key = fun _ -> ())
+    ?(abort = Abort.none) ~n ~model ~sched ~crash ~setup ~body () =
   let stall_window =
     match stall_window with Some w -> w | None -> max 1_000 (max_steps / 8)
   in
@@ -725,6 +934,9 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_w
       n;
       sched;
       crash;
+      abort;
+      has_abort = abort != Abort.none;
+      abort_view = Abort.blind_view ~n;
       record = record || trace_ops;
       trace_ops;
       max_steps;
@@ -746,6 +958,15 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_w
       last_sched = Array.make n (-1);
       unsafe_open = Array.make n [];
       holding = Array.make n [];
+      ab_flag = Array.make n false;
+      ab_signal_step = Array.make n (-1);
+      ab_op_origin = Array.make n (-1);
+      ab_own = Array.make n 0;
+      ab_rmr_acc = Array.make n 0;
+      ab_streak = Array.make n 0;
+      entry_depth = Array.make n 0;
+      entry_since = Array.make n (-1);
+      ab_stats = Vec.create ();
       in_passage = Array.make n false;
       in_app_cs = Array.make n false;
       passage_rmr = Array.make n 0;
@@ -768,10 +989,15 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_w
       timed_out = false;
     }
   in
+  if eng.has_abort then eng.abort_view <- make_abort_view eng;
   let dpos = ref 0 in
   let rec loop () =
     List.iter (crash_now eng) (Crash.async eng.crash ~step:eng.step);
     if Crash.system eng.crash ~step:eng.step then system_crash_now eng;
+    if eng.has_abort then
+      List.iter
+        (signal_abort eng ~origin:(-1))
+        (Abort.async eng.abort ~step:eng.step eng.abort_view);
     let ready = runnable eng in
     if Array.length ready = 0 then begin
       let any_parked =
@@ -847,6 +1073,15 @@ module Snap = struct
     s_last_sched : int array;
     s_unsafe_open : int list array;
     s_holding : int list array;
+    s_ab_flag : bool array;
+    s_ab_signal_step : int array;
+    s_ab_op_origin : int array;
+    s_ab_own : int array;
+    s_ab_rmr_acc : int array;
+    s_ab_streak : int array;
+    s_entry_depth : int array;
+    s_entry_since : int array;
+    s_ab_stats : abort_stat array;
     s_in_passage : bool array;
     s_in_app_cs : bool array;
     s_passage_rmr : int array;
@@ -889,6 +1124,15 @@ let capture eng ~pos ~(journal : journal) ~(degrees : int Vec.t) : Snap.t =
     s_last_sched = Array.copy eng.last_sched;
     s_unsafe_open = Array.copy eng.unsafe_open;
     s_holding = Array.copy eng.holding;
+    s_ab_flag = Array.copy eng.ab_flag;
+    s_ab_signal_step = Array.copy eng.ab_signal_step;
+    s_ab_op_origin = Array.copy eng.ab_op_origin;
+    s_ab_own = Array.copy eng.ab_own;
+    s_ab_rmr_acc = Array.copy eng.ab_rmr_acc;
+    s_ab_streak = Array.copy eng.ab_streak;
+    s_entry_depth = Array.copy eng.entry_depth;
+    s_entry_since = Array.copy eng.entry_since;
+    s_ab_stats = Vec.to_array eng.ab_stats;
     s_in_passage = Array.copy eng.in_passage;
     s_in_app_cs = Array.copy eng.in_app_cs;
     s_passage_rmr = Array.copy eng.passage_rmr;
@@ -972,7 +1216,14 @@ let fast_forward eng (journal : journal) jlen (tags : ptag array) =
             | T_parked | T_woken -> (
                 match (view, k) with
                 | Api.V_spin (cell, cond), k ->
-                    let p = { pk = k; pcell = cell; pcond = cond } in
+                    let p = { pk = k; pcell = cell; pcond = cond; pabort = false } in
+                    if tag = T_parked then begin
+                      eng.states.(pid) <- Parked p;
+                      Hashtbl.replace eng.parked_cells cell.Cell.id ()
+                    end
+                    else eng.states.(pid) <- Woken p
+                | Api.V_spin_abortable (cell, cond), k ->
+                    let p = { pk = k; pcell = cell; pcond = cond; pabort = true } in
                     if tag = T_parked then begin
                       eng.states.(pid) <- Parked p;
                       Hashtbl.replace eng.parked_cells cell.Cell.id ()
@@ -997,6 +1248,16 @@ let restore_counters eng (s : Snap.t) =
   Array.blit s.Snap.s_passage_rmr 0 eng.passage_rmr 0 n;
   Array.blit s.Snap.s_passage_super 0 eng.passage_super 0 n;
   Array.blit s.Snap.s_passage_start 0 eng.passage_start 0 n;
+  Array.blit s.Snap.s_ab_flag 0 eng.ab_flag 0 n;
+  Array.blit s.Snap.s_ab_signal_step 0 eng.ab_signal_step 0 n;
+  Array.blit s.Snap.s_ab_op_origin 0 eng.ab_op_origin 0 n;
+  Array.blit s.Snap.s_ab_own 0 eng.ab_own 0 n;
+  Array.blit s.Snap.s_ab_rmr_acc 0 eng.ab_rmr_acc 0 n;
+  Array.blit s.Snap.s_ab_streak 0 eng.ab_streak 0 n;
+  Array.blit s.Snap.s_entry_depth 0 eng.entry_depth 0 n;
+  Array.blit s.Snap.s_entry_since 0 eng.entry_since 0 n;
+  Vec.clear eng.ab_stats;
+  Array.iter (Vec.push eng.ab_stats) s.Snap.s_ab_stats;
   Array.blit s.Snap.s_level_max 0 eng.level_max 0 n;
   for pid = 0 to n - 1 do
     Vec.clear eng.passages.(pid);
@@ -1021,18 +1282,27 @@ let restore_counters eng (s : Snap.t) =
    the snapshot — but the calls rebuild the plan's internal state.  The
    stateless [Crash.none] plan skips the whole walk (and the engine skips
    recording [jops] for it). *)
-let replay_plan plan (s : Snap.t) =
-  if plan != Crash.none then begin
+let replay_plan plan abort_plan (s : Snap.t) =
+  let wind_crash = plan != Crash.none in
+  let wind_abort = abort_plan != Abort.none in
+  if wind_crash || wind_abort then begin
+    (* Abort plans honour the winding contract: async state evolves from
+       the consult sequence alone, so a blind view suffices and the
+       decisions can be discarded. *)
+    let bview = Abort.blind_view ~n:(Array.length s.Snap.s_tags) in
     let oi = ref 0 in
     for st = 0 to s.Snap.s_step do
-      ignore (Crash.async plan ~step:st);
-      (* Same per-iteration order as the live loops: async, then the
-         system consult, then the instruction's [on_op]. *)
-      ignore (Crash.system plan ~step:st);
-      while
-        !oi < s.Snap.s_olen && (Vec.get s.Snap.s_jops !oi).Crash.step = st
-      do
-        ignore (Crash.on_op plan (Vec.get s.Snap.s_jops !oi));
+      (* Same per-iteration order as the live loops: crash async, the
+         system consult, abort async, then per instruction the abort
+         [on_op] followed by the crash [on_op]. *)
+      if wind_crash then begin
+        ignore (Crash.async plan ~step:st);
+        ignore (Crash.system plan ~step:st)
+      end;
+      if wind_abort then ignore (Abort.async abort_plan ~step:st bview);
+      while !oi < s.Snap.s_olen && (Vec.get s.Snap.s_jops !oi).Crash.step = st do
+        if wind_abort then ignore (Abort.on_op abort_plan (Vec.get s.Snap.s_jops !oi));
+        if wind_crash then ignore (Crash.on_op plan (Vec.get s.Snap.s_jops !oi));
         incr oi
       done
     done
@@ -1046,8 +1316,8 @@ type rrun = {
 
 let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(record = false)
     ?(max_steps = 5_000_000) ?stall_window ?(por = false) ?(footprint_crashy = fun _ -> false)
-    ?(state_key_at = -1) ?(on_state_key = fun _ -> ()) ~decisions ~n ~model ~crash ~setup ~body
-    () =
+    ?(state_key_at = -1) ?(on_state_key = fun _ -> ()) ?(abort = fun () -> Abort.none)
+    ~decisions ~n ~model ~crash ~setup ~body () =
   let stall_window =
     match stall_window with Some w -> w | None -> max 1_000 (max_steps / 8)
   in
@@ -1058,6 +1328,7 @@ let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(recor
   let shared = setup ctx in
   let nlocks = Vec.length ctx.lock_names in
   let plan = crash () in
+  let plan_abort = abort () in
   let journal = { jents = Vec.create (); jops = Vec.create () } in
   let degrees = Vec.create () in
   let footprints = if por then Some (Vec.create ()) else None in
@@ -1067,6 +1338,9 @@ let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(recor
       n;
       sched = Sched.round_robin () (* never consulted: the loop below picks *);
       crash = plan;
+      abort = plan_abort;
+      has_abort = plan_abort != Abort.none;
+      abort_view = Abort.blind_view ~n;
       record;
       trace_ops = false;
       max_steps;
@@ -1076,7 +1350,7 @@ let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(recor
       footprints;
       footprint_crashy;
       journal = Some journal;
-      log_ops = plan != Crash.none;
+      log_ops = plan != Crash.none || plan_abort != Abort.none;
       ans_hash = Array.make n 0;
       body = (fun ~pid -> body shared ~pid);
       states = Array.make n Start;
@@ -1088,6 +1362,15 @@ let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(recor
       last_sched = Array.make n (-1);
       unsafe_open = Array.make n [];
       holding = Array.make n [];
+      ab_flag = Array.make n false;
+      ab_signal_step = Array.make n (-1);
+      ab_op_origin = Array.make n (-1);
+      ab_own = Array.make n 0;
+      ab_rmr_acc = Array.make n 0;
+      ab_streak = Array.make n 0;
+      entry_depth = Array.make n 0;
+      entry_since = Array.make n (-1);
+      ab_stats = Vec.create ();
       in_passage = Array.make n false;
       in_app_cs = Array.make n false;
       passage_rmr = Array.make n 0;
@@ -1144,7 +1427,7 @@ let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(recor
         fast_forward eng journal s.Snap.s_jlen s.Snap.s_tags;
         Memory.restore mem s.Snap.s_mem;
         restore_counters eng s;
-        replay_plan plan s;
+        replay_plan plan plan_abort s;
         (s.Snap.s_pos, true)
   in
   let pos = ref start_pos in
@@ -1155,13 +1438,18 @@ let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(recor
   (* A snapshot is taken after an iteration's async crashes and footprint
      pushes; resuming re-enters the loop at the pick of the same
      iteration, so the first resumed iteration skips both. *)
+  if eng.has_abort then eng.abort_view <- make_abort_view eng;
   let first = ref resumed in
   let rec loop () =
     let skip = !first in
     first := false;
     if not skip then begin
       List.iter (crash_now eng) (Crash.async plan ~step:eng.step);
-      if Crash.system plan ~step:eng.step then system_crash_now eng
+      if Crash.system plan ~step:eng.step then system_crash_now eng;
+      if eng.has_abort then
+        List.iter
+          (signal_abort eng ~origin:(-1))
+          (Abort.async plan_abort ~step:eng.step eng.abort_view)
     end;
     let ready = runnable eng in
     if Array.length ready = 0 then begin

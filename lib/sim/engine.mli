@@ -46,6 +46,31 @@ type lock_stats = {
   unsafe_crashes : int;  (** crashes inside this lock's sensitive window *)
 }
 
+(** How one delivered abort signal resolved. *)
+type abort_result =
+  | Res_aborted  (** the victim ran the abort protocol and abandoned the request *)
+  | Res_lost_race  (** the abort raced a handoff and lost: the victim acquired instead *)
+  | Res_acquired
+      (** the victim acquired normally before observing the signal — the
+          only resolution a non-abortable lock offers *)
+  | Res_crashed  (** the victim crashed while the signal was pending *)
+  | Res_pending  (** the run ended with the signal unresolved *)
+
+type abort_stat = {
+  ab_pid : int;
+  ab_signal_step : int;  (** global step the signal was delivered at *)
+  ab_op_index : int;
+      (** victim op index of an on-op signal; [-1] for async deliveries *)
+  ab_resolved_step : int;  (** [-1] while pending *)
+  ab_own_steps : int;
+      (** the victim's own steps from signal to resolution — the quantity
+          {!Rme_check.Props.abort_liveness} bounds *)
+  ab_rmr : int;  (** RMRs the victim incurred between signal and resolution *)
+  ab_result : abort_result;
+}
+
+val pp_abort_result : abort_result Fmt.t
+
 (** Watchdog verdict on an abnormal end state. *)
 type stall_kind =
   | Deadlock  (** every live process parked, no writer left to wake them *)
@@ -91,6 +116,10 @@ type result = {
           [timed_out]); [None] on clean termination.  Guarantees that
           [timed_out] is never an undiagnosed verdict: the watchdog always
           classifies it and names culprit pids. *)
+  aborts : abort_stat list;
+      (** one record per delivered abort signal, resolved records in
+          resolution order followed by the still-pending ones; [[]] unless
+          an {!Abort.t} plan was supplied *)
   events : Event.t list;  (** [[]] unless [record] *)
 }
 
@@ -107,6 +136,7 @@ val run :
   ?footprint_crashy:(int -> bool) ->
   ?state_key_at:int ->
   ?on_state_key:(int array -> unit) ->
+  ?abort:Abort.t ->
   n:int ->
   model:Memory.model ->
   sched:Sched.t ->
@@ -153,6 +183,17 @@ val run :
     nodes have pointwise check-equivalent continuations — the explorer's
     state cache dedups on it.  Step counts, latencies and the stall
     classification are excluded, matching the POR contract.
+
+    [abort] (default {!Abort.none}) is the abort decision axis: the plan
+    is consulted once per iteration (after the crash plan's asynchronous
+    and system consults) and once per instruction (immediately {e before}
+    the crash plan's [on_op]), and each positive decision delivers an
+    abort signal to its victim — provided the victim is live and inside
+    some lock's entry section; everything else is a no-op.  Signals wake
+    abortable spins ({!Api.spin_abortable}), are visible to
+    {!Api.poll_abort}, and resolve per the {!abort_result} cases, each
+    resolution appending an {!abort_stat} to [result.aborts].  Passing
+    [Abort.none] itself (physical equality) skips all abort bookkeeping.
 
     [run] is re-entrant and domain-safe: all engine state (store, fibers,
     statistics) is allocated per call, so independent runs may execute
@@ -211,6 +252,7 @@ val run_resumable :
   ?footprint_crashy:(int -> bool) ->
   ?state_key_at:int ->
   ?on_state_key:(int array -> unit) ->
+  ?abort:(unit -> Abort.t) ->
   decisions:int array ->
   n:int ->
   model:Memory.model ->
@@ -243,7 +285,12 @@ val run_resumable :
       before its deviation position.
 
     [crash] is a thunk because resuming needs a fresh plan to wind
-    forward; it is called exactly once per [run_resumable] call.
+    forward; it is called exactly once per [run_resumable] call.  [abort]
+    (default [fun () -> Abort.none]) is a thunk for the same reason: a
+    resume winds the fresh abort plan over the recorded op stream and the
+    step counter, consulting [async] with {!Abort.blind_view} — which is
+    exactly why abort plans must honour the winding contract documented in
+    {!Abort}.
     [state_key_at]/[on_state_key] behave as in {!run} (the digest is
     identical whether the position was reached live or via a resume — the
     journal-stream digests are rebuilt from the seeded prefix).  The

@@ -8,6 +8,10 @@ type note =
   | Lock_released of int
   | Level of int
   | Path of int * bool
+  | Abort_signal
+  | Abort_request of int
+  | Abort_done of int
+  | Abort_lost_race of int
   | Custom of string
 
 type t =
@@ -40,6 +44,10 @@ let pp_note ppf = function
   | Lock_released id -> Fmt.pf ppf "lock[%d].released" id
   | Level l -> Fmt.pf ppf "level=%d" l
   | Path (l, fast) -> Fmt.pf ppf "path[%d]=%s" l (if fast then "fast" else "slow")
+  | Abort_signal -> Fmt.string ppf "abort-signal"
+  | Abort_request id -> Fmt.pf ppf "lock[%d].abort-request" id
+  | Abort_done id -> Fmt.pf ppf "lock[%d].abort-done" id
+  | Abort_lost_race id -> Fmt.pf ppf "lock[%d].abort-lost-race" id
   | Custom s -> Fmt.string ppf s
 
 let pp ppf = function

@@ -22,6 +22,14 @@ type note =
   | Lock_released of int  (** lock [id]: Exit segment completed *)
   | Level of int  (** BA-Lock: the process starts competing at this level *)
   | Path of int * bool  (** BA-Lock/SA-Lock: level, [true] = fast path *)
+  | Abort_signal
+      (** the engine delivered an abort signal to this process (adversary
+          decision point; emitted by the engine, not by lock code) *)
+  | Abort_request of int  (** lock [id]: the victim starts its abort protocol *)
+  | Abort_done of int  (** lock [id]: abort completed, request abandoned *)
+  | Abort_lost_race of int
+      (** lock [id]: the abort lost the race — the process acquired the
+          lock instead and now holds its CS (no {!Lock_acquired} fires) *)
   | Custom of string
 
 type t =

@@ -69,7 +69,12 @@ let of_note ~pid ~crashy (n : Event.note) =
   | Event.Lock_acquired id | Event.Lock_release id | Event.Lock_enter id
   | Event.Lock_released id ->
       make ~pid ~crashy cls_write (code_lock id)
-  | Event.Level _ | Event.Path _ | Event.Custom _ -> make ~pid ~crashy cls_local code_none
+  (* Abort resolutions move the same per-lock occupancy aggregates the
+     acquire/release milestones do. *)
+  | Event.Abort_done id | Event.Abort_lost_race id | Event.Abort_request id ->
+      make ~pid ~crashy cls_write (code_lock id)
+  | Event.Level _ | Event.Path _ | Event.Custom _ | Event.Abort_signal ->
+      make ~pid ~crashy cls_local code_none
 
 let of_view : type a. pid:int -> crashy:bool -> a Api.view -> t =
  fun ~pid ~crashy view ->
@@ -87,8 +92,12 @@ let of_view : type a. pid:int -> crashy:bool -> a Api.view -> t =
   (* Spins park and their writers unpark: order against any access to the
      cell matters, so the whole wait protocol is write-class. *)
   | Api.V_spin (c, _) -> make ~pid ~crashy cls_write (code_cell c.Cell.id)
+  | Api.V_spin_abortable (c, _) -> make ~pid ~crashy cls_write (code_cell c.Cell.id)
   | Api.V_note n -> of_note ~pid ~crashy n
   | Api.V_get_done -> make ~pid ~crashy cls_local code_none
+  (* Reads the engine's abort flag, which only abort decisions (covered by
+     the Sensitive POR downgrade) and the process's own protocol move. *)
+  | Api.V_poll_abort -> make ~pid ~crashy cls_local code_none
   | Api.V_yield -> make ~pid ~crashy cls_local code_none
 
 (* Crash teardown (close the CS, drop held locks, forget the cache) commutes

@@ -9,7 +9,27 @@
     {!Api.completed_requests} (recoverable application state) and resumes
     the interrupted super-passage, exactly as §2.3 prescribes. *)
 
-type lock = { name : string; acquire : pid:int -> unit; release : pid:int -> unit }
+(** Outcome of a lock's abort protocol. *)
+type abort_outcome =
+  | Aborted  (** the request was withdrawn; the entry section was left *)
+  | Acquired_instead
+      (** the abort raced an incoming handoff and lost: the process holds
+          the lock and must proceed to the CS and release normally *)
+  | Not_supported  (** the lock has no abort path; treat as acquire-through *)
+
+val pp_abort_outcome : abort_outcome Fmt.t
+
+type lock = {
+  name : string;
+  acquire : pid:int -> unit;
+  release : pid:int -> unit;
+  try_abort : (pid:int -> abort_outcome) option;
+      (** abort port: called by {!standard_body} when [acquire] raises
+          {!Api.Abort_signal}.  Locks whose [acquire] can raise must supply
+          it (wrap with {!Rme_locks.Lock.instrument} to get the
+          {!Event.note} milestones); legacy locks leave it [None] and never
+          raise. *)
+}
 
 val standard_body :
   ?cs:(pid:int -> unit) ->
@@ -19,13 +39,20 @@ val standard_body :
   int ->
   unit
 (** [standard_body ~lock ~requests pid] is the Algorithm-1 loop, performing [requests] satisfied requests.  [cs]
-    and [ncs] default to no-ops; both may perform {!Api} effects. *)
+    and [ncs] default to no-ops; both may perform {!Api} effects.
+
+    When [acquire] raises {!Api.Abort_signal} the loop runs [try_abort]:
+    on [Aborted] it abandons the passage and retries from the NCS (the
+    same super-passage — the request is still outstanding); on
+    [Acquired_instead] / [Not_supported] it proceeds to the CS and
+    releases normally. *)
 
 val run_lock :
   ?record:bool ->
   ?trace_ops:bool ->
   ?max_steps:int ->
   ?on_crash:(pid:int -> step:int -> unit) ->
+  ?abort:Abort.t ->
   ?cs:(pid:int -> unit) ->
   ?ncs:(pid:int -> unit) ->
   n:int ->

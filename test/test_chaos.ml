@@ -315,6 +315,7 @@ let ba_case =
     case_make = spec.Rme.Spec.make;
     case_weak = false;
     case_ff_bound = None;
+    case_abortable = false;
   }
 
 let test_theorem_5_17_over_1000_runs () =
@@ -385,7 +386,7 @@ let test_holder_rediscovers_wr_fas_gap () =
   (* Bridge 1: the recorded schedule + the fired crashes as a fixed at-op
      composite replay the very same violation, faithfully. *)
   let replayed, mismatch =
-    Chaos.replay wr_cfg ~make:wr_make ~fired:r.Chaos.fired ~decisions:r.Chaos.decisions
+    Chaos.replay wr_cfg ~make:wr_make ~fired:r.Chaos.fired ~decisions:r.Chaos.decisions ()
   in
   check cb "replay faithful" false mismatch;
   check cb "replay violates ME" true (replayed.Engine.cs_max > 1);
@@ -399,7 +400,7 @@ let test_holder_rediscovers_wr_fas_gap () =
   in
   check cb "witness no longer than the discovery" true
     (List.length witness <= List.length r.Chaos.decisions);
-  let wres, wmis = Chaos.replay wr_cfg ~make:wr_make ~fired:r.Chaos.fired ~decisions:witness in
+  let wres, wmis = Chaos.replay wr_cfg ~make:wr_make ~fired:r.Chaos.fired ~decisions:witness () in
   check cb "witness faithful" false wmis;
   check cb "witness violates ME" true (wres.Engine.cs_max > 1)
 
@@ -408,7 +409,13 @@ let test_campaign_reports_wr_overlap () =
      case makes the overlap a mutual-exclusion violation the campaign must
      catch, replay-confirm and shrink on its own. *)
   let case =
-    { Chaos.case_name = "wr-as-strong"; case_make = wr_make; case_weak = false; case_ff_bound = None }
+    {
+      Chaos.case_name = "wr-as-strong";
+      case_make = wr_make;
+      case_weak = false;
+      case_ff_bound = None;
+      case_abortable = false;
+    }
   in
   let o =
     Chaos.campaign ~cfg:wr_cfg
@@ -433,7 +440,13 @@ let test_campaign_weak_wr_clean () =
      ME): Theorem 4.2 says the overlap stays within the consequence
      envelope, so the campaign must stay clean. *)
   let case =
-    { Chaos.case_name = "wr"; case_make = wr_make; case_weak = true; case_ff_bound = None }
+    {
+      Chaos.case_name = "wr";
+      case_make = wr_make;
+      case_weak = true;
+      case_ff_bound = None;
+      case_abortable = false;
+    }
   in
   let o =
     Chaos.campaign ~cfg:wr_cfg
@@ -451,7 +464,7 @@ let test_recording_scheduler_roundtrip () =
       ~seed:42
   in
   let replayed, mismatch =
-    Chaos.replay wr_cfg ~make:wr_make ~fired:r.Chaos.fired ~decisions:r.Chaos.decisions
+    Chaos.replay wr_cfg ~make:wr_make ~fired:r.Chaos.fired ~decisions:r.Chaos.decisions ()
   in
   check cb "faithful" false mismatch;
   check ci "same steps" r.Chaos.res.Engine.steps replayed.Engine.steps;

@@ -78,7 +78,7 @@ let wr_trusting_cas ctx =
       Api.write state.(pid) 3
     end
   in
-  Lock.instrument ~id ~name:"mut-wr" ~acquire ~release:(fun ~pid -> exit_segment ~pid)
+  Lock.instrument ~id ~name:"mut-wr" ~acquire ~release:(fun ~pid -> exit_segment ~pid) ()
 
 let test_mutant_wr_trusting_cas () =
   (* Crash the process right after the link CAS: on re-execution the CAS
@@ -143,7 +143,7 @@ let sa_leaky_splitter ctx =
     Api.write typ.(pid) 0;
     flock.Lock.release ~pid
   in
-  Lock.instrument ~id ~name:"mut-sa" ~acquire ~release
+  Lock.instrument ~id ~name:"mut-sa" ~acquire ~release ()
 
 let test_mutant_leaky_splitter () =
   (* Under an unsafe filter failure two processes reach the splitter; with
@@ -217,7 +217,7 @@ let bakery_unsafe_exit ctx =
     Api.yield ();
     Api.write state.(pid) 0
   in
-  Lock.instrument ~id ~name:"mut-bak" ~acquire ~release
+  Lock.instrument ~id ~name:"mut-bak" ~acquire ~release ()
 
 let test_mutant_bakery_exit_order () =
   (* Crash in the exit gap, long CSs: the restart claims BCSR re-entry into
@@ -268,7 +268,7 @@ let arb_ring_before_yield ctx =
     wake (1 - s);
     Api.write occupant.(s) 0
   in
-  { Lock.name = "mut-arb"; acquire; release }
+  { Lock.name = "mut-arb"; acquire; release; try_abort = None }
 
 let test_mutant_arbitrator_wake_order () =
   (* The explorer hunts the lost wake-up: some interleaving leaves one side

@@ -15,6 +15,7 @@ let broken_make ctx =
   Lock.instrument ~id ~name:"broken"
     ~acquire:(fun ~pid:_ -> Api.yield ())
     ~release:(fun ~pid:_ -> Api.yield ())
+    ()
 
 (* A lock that starves pid 0: it never lets it in. *)
 let starving_make ctx =
@@ -24,6 +25,7 @@ let starving_make ctx =
   Lock.instrument ~id ~name:"starver"
     ~acquire:(fun ~pid -> if pid = 0 then Api.spin_until never (Api.Eq 1))
     ~release:(fun ~pid:_ -> ())
+    ()
 
 let run ?(record = true) ?trace_ops ?(n = 4) ?(requests = 4) ?(crash = Crash.none)
     ?(sched = Sched.random ~seed:3) ?(max_steps = 200_000) ?cs ~make () =

@@ -209,6 +209,7 @@ let naive_ticket_make ctx =
     ~release:(fun ~pid:_ ->
       let (_ : int) = Api.faa grant 1 in
       ())
+    ()
 
 let test_naive_ticket_breaks_under_system_crash () =
   (* Some pinned system-crash step must produce a stall (lost ticket):
@@ -480,6 +481,7 @@ let test_chaos_system_adversary_finds_planted_bug () =
       case_make = naive_ticket_make;
       case_weak = false;
       case_ff_bound = None;
+      case_abortable = false;
     }
   in
   let cfg = { Chaos.default_cfg with Chaos.max_steps = 40_000 } in
