@@ -6,7 +6,7 @@
      dune exec bench/main.exe table1     # one experiment
      (experiments: table1 table2 fig1 fig23 adaptivity batch reclaim
                    ablation branching scale space anatomy fairness
-                   adversary explore sweep figures bechamel)
+                   adversary explore gc sweep figures bechamel)
 
    Absolute numbers are simulator RMR counts, not hardware cycles; the
    claims under reproduction are the *shapes* (who is flat, who grows like
@@ -16,6 +16,12 @@ open Rme_sim
 open Rme_locks
 
 let fmt_f x = Printf.sprintf "%.0f" x
+
+(* Every BENCH_*.json opens with the same provenance header, so a result
+   file always says what machine produced it. *)
+let json_header buf experiment =
+  Printf.bprintf buf "{\n  \"experiment\": %S,\n  \"host\": %s,\n" experiment
+    (Rme_check.Metrics.host_json ())
 
 (* With --csv DIR every printed table is also written as DIR/table_NN.csv. *)
 let csv_dir = ref None
@@ -641,12 +647,13 @@ let explore_bench () =
   let body lock ~pid = Rme_sim.Harness.standard_body ~lock ~requests:2 pid in
   let crash () = Crash.none in
   let max_runs = 4_000 in
-  let run_case = function
+  let run_case ?stats = function
     | None ->
-        Rme_check.Explore.explore ~por:`Off ~max_runs ~max_steps:4_000 ~shrink_violations:false
-          ~n:3 ~model:Memory.CC ~crash ~setup:Wr_lock.make ~body ~check ()
+        Rme_check.Explore.explore ?stats ~por:`Off ~max_runs ~max_steps:4_000
+          ~shrink_violations:false ~n:3 ~model:Memory.CC ~crash ~setup:Wr_lock.make ~body ~check
+          ()
     | Some domains ->
-        Rme_check.Explore.explore_parallel ~por:`Off ~snap_gap:8 ~domains ~max_runs
+        Rme_check.Explore.explore_parallel ?stats ~por:`Off ~snap_gap:8 ~domains ~max_runs
           ~max_steps:4_000 ~shrink_violations:false ~n:3 ~model:Memory.CC ~crash
           ~setup:Wr_lock.make ~body ~check ()
   in
@@ -658,7 +665,11 @@ let explore_bench () =
   let divergence = ref false in
   (* Warm up allocators/code paths, and fix the reference outcome every
      configuration must reproduce byte-for-byte. *)
-  let reference = run_case None in
+  let ref_stats = ref None in
+  let reference = run_case ~stats:(fun s -> ref_stats := Some s) None in
+  (match !ref_stats with
+  | Some s -> Fmt.pr "search effort (sequential): %a@.@." Rme_check.Explore.pp_search_stats s
+  | None -> ());
   let cases =
     [ ("sequential", None); ("domains=1", Some 1); ("domains=2", Some 2); ("domains=4", Some 4) ]
   in
@@ -954,7 +965,17 @@ let explore_bench () =
      experiments: throughput cases plus the POR reduction factors. *)
   let path = "BENCH_explore.json" in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"experiment\": \"explore\",\n  \"throughput\": [\n";
+  json_header buf "explore";
+  (match !ref_stats with
+  | Some s ->
+      Printf.bprintf buf
+        "  \"search_stats\": {\"engine_runs\": %d, \"engine_steps\": %d, \"cache_hits\": %d, \
+         \"cache_misses\": %d, \"cache_evictions\": %d},\n"
+        s.Rme_check.Explore.engine_runs s.Rme_check.Explore.engine_steps
+        s.Rme_check.Explore.cache_hits s.Rme_check.Explore.cache_misses
+        s.Rme_check.Explore.cache_evictions
+  | None -> ());
+  Buffer.add_string buf "  \"throughput\": [\n";
   List.iteri
     (fun i (label, runs, dt, rate, speedup) ->
       Buffer.add_string buf
@@ -1073,7 +1094,8 @@ let sweep_bench () =
      appended to by CI so sweep throughput regressions are visible over time. *)
   let path = "BENCH_sweep.json" in
   let buf = Buffer.create 512 in
-  Buffer.add_string buf "{\n  \"experiment\": \"sweep\",\n  \"cases\": [\n";
+  json_header buf "sweep";
+  Buffer.add_string buf "  \"cases\": [\n";
   List.iteri
     (fun i (key, jobs, sites, plans, runs, dt) ->
       Buffer.add_string buf
@@ -1149,7 +1171,8 @@ let chaos_bench () =
           and shrunk, see soak --adversary)@.";
   let path = "BENCH_chaos.json" in
   let buf = Buffer.create 512 in
-  Buffer.add_string buf "{\n  \"experiment\": \"chaos\",\n  \"cases\": [\n";
+  json_header buf "chaos";
+  Buffer.add_string buf "  \"cases\": [\n";
   List.iteri
     (fun i (key, adv, (o : Chaos.outcome), dt) ->
       Buffer.add_string buf
@@ -1252,7 +1275,8 @@ let syscrash_bench () =
           both models)@.";
   let path = "BENCH_syscrash.json" in
   let buf = Buffer.create 512 in
-  Buffer.add_string buf "{\n  \"experiment\": \"syscrash\",\n  \"cases\": [\n";
+  json_header buf "syscrash";
+  Buffer.add_string buf "  \"cases\": [\n";
   List.iteri
     (fun i (key, model_name, crashes, exhausted, violations, latency, dt) ->
       Buffer.add_string buf
@@ -1395,7 +1419,8 @@ let abort_bench () =
          overhead);
   let path = "BENCH_abort.json" in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"experiment\": \"abort\",\n  \"cases\": [\n";
+  json_header buf "abort";
+  Buffer.add_string buf "  \"cases\": [\n";
   List.iteri
     (fun i (key, level, thpt, signals, aborts, latency, lat_max, stalls, dt) ->
       Buffer.add_string buf
@@ -1428,6 +1453,79 @@ let abort_bench () =
         exit 1
       end)
     cases
+
+(* ------------------------------------------------------------------ *)
+(* Gc allocation differential: the fast path's regression gate          *)
+(* ------------------------------------------------------------------ *)
+
+let gc_bench () =
+  Fmt.pr "@.=== Gc: engine fast path vs fully instrumented ===@.@.";
+  (* One closed-loop workload (8 WR-Lock clients, 500 requests each) run
+     under the two extreme engine modes.  The gate pins the fast path's
+     contract — at least 2x the passages/sec of the fully instrumented
+     engine at no more than half the minor words per passage — so an
+     accidental allocation or bookkeeping step creeping back into the hot
+     loop fails CI instead of silently eroding the headline numbers. *)
+  let n = 8 and requests = 500 in
+  let body lock ~pid = Harness.standard_body ~lock ~requests pid in
+  let run ~mode ~record ~trace_ops () =
+    Engine.run ~mode ~record ~trace_ops ~max_steps:10_000_000 ~n ~model:Memory.CC
+      ~sched:(Sched.random ~seed:11) ~crash:Crash.none ~setup:Wr_lock.make ~body ()
+  in
+  (* The two modes must also agree on every result field: the fast path is
+     an elision of bookkeeping nobody asked for, never a semantic change. *)
+  let fast_res = run ~mode:`Fast ~record:false ~trace_ops:false () in
+  let full_res = run ~mode:`Full ~record:false ~trace_ops:false () in
+  if fast_res <> full_res then begin
+    Fmt.epr "gc bench: `Fast and `Full disagree on the same schedule@.";
+    exit 1
+  end;
+  let measure ~mode ~record ~trace_ops =
+    ignore (run ~mode ~record ~trace_ops ());
+    let best_dt = ref infinity and best_alloc = ref infinity in
+    let passages = ref 0 in
+    for _ = 1 to 5 do
+      let m0 = Gc.minor_words () in
+      let t0 = Unix.gettimeofday () in
+      let res = run ~mode ~record ~trace_ops () in
+      let dt = Unix.gettimeofday () -. t0 in
+      let alloc = Gc.minor_words () -. m0 in
+      passages := List.length (Engine.completed_passages res);
+      if dt < !best_dt then best_dt := dt;
+      if alloc < !best_alloc then best_alloc := alloc
+    done;
+    (!best_dt, !best_alloc, !passages)
+  in
+  let full_dt, full_alloc, full_p = measure ~mode:`Full ~record:true ~trace_ops:true in
+  let fast_dt, fast_alloc, fast_p = measure ~mode:`Fast ~record:false ~trace_ops:false in
+  let row label dt alloc p =
+    [
+      label;
+      string_of_int p;
+      Printf.sprintf "%.3f s" dt;
+      Printf.sprintf "%.0f" (float_of_int p /. dt);
+      Printf.sprintf "%.0f" (alloc /. float_of_int (max 1 p));
+    ]
+  in
+  table
+    ~header:[ "engine"; "passages"; "best of 5"; "passages/s"; "minor words/passage" ]
+    ~rows:
+      [
+        row "fast (`Fast, drop sink)" fast_dt fast_alloc fast_p;
+        row "instrumented (`Full, record+trace)" full_dt full_alloc full_p;
+      ];
+  let speedup = full_dt /. fast_dt in
+  let alloc_ratio =
+    fast_alloc /. float_of_int (max 1 fast_p)
+    /. (full_alloc /. float_of_int (max 1 full_p))
+  in
+  Fmt.pr "@.speedup %.2fx (gate: >= 2.0), allocation ratio %.3f (gate: <= 0.5)@." speedup
+    alloc_ratio;
+  if speedup < 2.0 || alloc_ratio > 0.5 then begin
+    Fmt.epr "gc bench: fast-path regression gate FAILED@.";
+    exit 1
+  end;
+  Fmt.pr "fast-path regression gate passed@."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock suite                                            *)
@@ -1501,6 +1599,7 @@ let experiments =
     ("fairness", fairness);
     ("adversary", adversary);
     ("explore", explore_bench);
+    ("gc", gc_bench);
     ("sweep", sweep_bench);
     ("chaos", chaos_bench);
     ("syscrash", syscrash_bench);

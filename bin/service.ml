@@ -1,0 +1,526 @@
+(* Lock-service throughput harness: drive registry locks through millions
+   of simulated passages under open-loop arrival processes and emit
+   BENCH_service.json with throughput, latency quantiles, RMR histograms
+   and allocation rates.
+
+     dune exec bin/service.exe --                         # full run, >= 1M passages
+     dune exec bin/service.exe -- --passages 60000        # CI smoke
+     dune exec bin/service.exe -- --locks wr --arrivals poisson --statsd out.statsd
+
+   Unlike the closed-loop workloads in Rme.Workload (each client re-requests
+   the moment its previous passage completes), the service harness is
+   open-loop: every client has a precomputed schedule of arrival steps and
+   each request's latency is charged from its *scheduled* arrival, so
+   convoys and hand-off stalls show up as queueing delay instead of
+   silently throttling the offered load.  This is the standard
+   coordinated-omission-free way to measure a lock service.
+
+   The harness is also the consumer of the engine's zero-instrumentation
+   fast path: measured runs execute with ~mode:`Fast (crash-free,
+   abort-free, dropping event sink), and a gate run compares that against
+   ~mode:`Full with full event recording to hold the fast path to its
+   contract (>= 2x passages/sec, <= 0.5x minor words per passage). *)
+
+open Cmdliner
+open Rme_sim
+module Metrics = Rme_check.Metrics
+module Hist = Metrics.Hist
+
+type arrival = Poisson | Bursty
+
+let arrival_of_string = function
+  | "poisson" -> Ok Poisson
+  | "bursty" -> Ok Bursty
+  | s -> Error (Printf.sprintf "unknown arrival process %S (poisson|bursty)" s)
+
+let arrival_name = function Poisson -> "poisson" | Bursty -> "bursty"
+
+(* One measured engine run: a shard of a (lock x arrival) configuration. *)
+type shard_out = {
+  so_passages : int;  (** completed passages, warmup included *)
+  so_measured : int;  (** passages recorded into the histograms *)
+  so_steps : int;
+  so_wall : float;
+  so_minor_words : float;  (** minor words allocated across the run *)
+  so_lat : Hist.t;  (** sojourn latency: completion step - scheduled arrival *)
+  so_rmr : Hist.t;  (** RMRs per passage *)
+  so_stall : string option;
+}
+
+(* Per-client arrival schedules, in absolute engine steps.  Poisson draws
+   exponential inter-arrival gaps of mean [gap]; bursty fires [burst]
+   back-to-back arrivals separated by exponential lulls of mean
+   [burst * gap], so both processes offer the same average load. *)
+let arrivals ~rng ~arrival ~gap ~burst ~requests =
+  let exp_gap mean =
+    let u = Random.State.float rng 1.0 in
+    let g = int_of_float (-.mean *. log (1.0 -. u)) in
+    if g < 1 then 1 else g
+  in
+  let dues = Array.make requests 0 in
+  let t = ref (1 + Random.State.int rng (max 1 gap)) in
+  for i = 0 to requests - 1 do
+    (match arrival with
+    | Poisson -> t := !t + exp_gap (float_of_int gap)
+    | Bursty -> if i mod burst = 0 then t := !t + exp_gap (float_of_int (burst * gap)) else incr t);
+    dues.(i) <- !t
+  done;
+  dues
+
+(* The open-loop client body.  The pacing loop polls the global step
+   counter (a free scheduling point) until the scheduled arrival; a
+   request whose due step is already past starts immediately — backlog
+   drains at full speed, it is never absorbed into the offered load. *)
+let client_body ~dues ~warmup ~cs_yields ~lat (lock : Harness.lock) ~pid =
+  let dues = dues.(pid) in
+  let requests = Array.length dues in
+  for i = 0 to requests - 1 do
+    let due = Array.unsafe_get dues i in
+    while Api.step () < due do
+      Api.yield ()
+    done;
+    Api.note (Event.Seg Event.Req_begin);
+    lock.Harness.acquire ~pid;
+    Api.note (Event.Seg Event.Cs_begin);
+    for _ = 1 to cs_yields do
+      Api.yield ()
+    done;
+    Api.note (Event.Seg Event.Cs_end);
+    lock.Harness.release ~pid;
+    Api.note (Event.Seg Event.Req_done);
+    if i >= warmup then Hist.add lat (Api.step () - due)
+  done
+
+let run_shard ~mode ~record ~trace_ops ~spec ~arrival ~clients ~requests ~warmup ~gap ~burst
+    ~cs_yields ~seed =
+  let rng = Random.State.make [| seed; 0x5e21; 0xca11 |] in
+  let dues =
+    Array.init clients (fun _ -> arrivals ~rng ~arrival ~gap ~burst ~requests)
+  in
+  let last_due = Array.fold_left (fun acc d -> max acc d.(requests - 1)) 0 dues in
+  let max_steps = last_due + (clients * requests * 300) + 1_000_000 in
+  let lat = Hist.create () in
+  let rmr = Hist.create () in
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let res =
+    Engine.run ~mode ~record ~trace_ops ~max_steps ~n:clients ~model:Memory.CC
+      ~sched:(Sched.random ~seed:(seed + 7919))
+      ~crash:Crash.none ~setup:spec.Rme.Spec.make
+      ~body:(client_body ~dues ~warmup ~cs_yields ~lat)
+      ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor_words = Gc.minor_words () -. minor0 in
+  let passages = ref 0 in
+  Array.iter
+    (fun (p : Engine.proc_stats) ->
+      List.iteri
+        (fun i (pa : Engine.passage) ->
+          if pa.Engine.completed then begin
+            incr passages;
+            if i >= warmup then Hist.add rmr pa.Engine.rmr
+          end)
+        p.Engine.passages)
+    res.Engine.procs;
+  let stall =
+    match res.Engine.stall with
+    | Some s -> Some (Fmt.str "%a" Engine.pp_stall s)
+    | None ->
+        if res.Engine.deadlocked then Some "deadlocked (undiagnosed)"
+        else if res.Engine.timed_out then Some "timed out (undiagnosed)"
+        else None
+  in
+  {
+    so_passages = !passages;
+    so_measured = Hist.count lat;
+    so_steps = res.Engine.steps;
+    so_wall = wall;
+    so_minor_words = minor_words;
+    so_lat = lat;
+    so_rmr = rmr;
+    so_stall = stall;
+  }
+
+(* Merged view of one (lock x arrival) configuration. *)
+type config_out = {
+  co_lock : string;
+  co_arrival : arrival;
+  co_passages : int;
+  co_measured : int;
+  co_steps : int;
+  co_wall : float;  (** summed across shards: per-domain serial seconds *)
+  co_minor_words : float;
+  co_lat : Hist.t;
+  co_rmr : Hist.t;
+  co_stalls : string list;
+}
+
+let merge_config ~lock ~arrival outs =
+  let lat = Hist.create () and rmr = Hist.create () in
+  let acc =
+    List.fold_left
+      (fun (p, m, s, w, mw, stalls) o ->
+        Hist.merge_into ~into:lat o.so_lat;
+        Hist.merge_into ~into:rmr o.so_rmr;
+        ( p + o.so_passages,
+          m + o.so_measured,
+          s + o.so_steps,
+          w +. o.so_wall,
+          mw +. o.so_minor_words,
+          match o.so_stall with Some msg -> msg :: stalls | None -> stalls ))
+      (0, 0, 0, 0.0, 0.0, []) outs
+  in
+  let p, m, s, w, mw, stalls = acc in
+  {
+    co_lock = lock;
+    co_arrival = arrival;
+    co_passages = p;
+    co_measured = m;
+    co_steps = s;
+    co_wall = w;
+    co_minor_words = mw;
+    co_lat = lat;
+    co_rmr = rmr;
+    co_stalls = List.rev stalls;
+  }
+
+(* --- fast-path gate ------------------------------------------------- *)
+
+(* Same workload twice on the calling domain: the zero-instrumentation
+   fast path versus the fully instrumented engine (every bookkeeping
+   layer forced on: full event recording plus per-instruction op traces).
+   The gate runs closed-loop (gap 1: every due step is already past, so
+   clients drain backlog at full speed) — under open-loop saturation the
+   pacing polls dominate per-passage cost identically in both modes and
+   would dilute the ratio the gate is holding the fast path to.
+   The contract of docs/PERFORMANCE.md, held empirically on every run. *)
+type gate_out = {
+  g_fast_tp : float;
+  g_full_tp : float;
+  g_speedup : float;
+  g_fast_alloc : float;  (** minor words per passage *)
+  g_full_alloc : float;
+  g_alloc_ratio : float;
+  g_pass : bool;
+}
+
+let run_gate ~spec ~clients ~requests ~burst ~cs_yields ~seed =
+  let one ~mode ~record ~trace_ops =
+    let o =
+      run_shard ~mode ~record ~trace_ops ~spec ~arrival:Poisson ~clients ~requests ~warmup:0
+        ~gap:1 ~burst ~cs_yields ~seed
+    in
+    let tp = float_of_int o.so_passages /. Float.max 1e-9 o.so_wall in
+    let alloc = o.so_minor_words /. float_of_int (max 1 o.so_passages) in
+    (tp, alloc)
+  in
+  (* Warm both paths once so neither measurement pays first-run costs
+     (code paths, memory growth) the other skipped. *)
+  let warm_req = max 16 (requests / 10) in
+  ignore
+    (run_shard ~mode:`Fast ~record:false ~trace_ops:false ~spec ~arrival:Poisson ~clients
+       ~requests:warm_req ~warmup:0 ~gap:1 ~burst ~cs_yields ~seed);
+  ignore
+    (run_shard ~mode:`Full ~record:true ~trace_ops:true ~spec ~arrival:Poisson ~clients
+       ~requests:warm_req ~warmup:0 ~gap:1 ~burst ~cs_yields ~seed);
+  let full_tp, full_alloc = one ~mode:`Full ~record:true ~trace_ops:true in
+  let fast_tp, fast_alloc = one ~mode:`Fast ~record:false ~trace_ops:false in
+  let speedup = fast_tp /. Float.max 1e-9 full_tp in
+  let alloc_ratio = fast_alloc /. Float.max 1e-9 full_alloc in
+  {
+    g_fast_tp = fast_tp;
+    g_full_tp = full_tp;
+    g_speedup = speedup;
+    g_fast_alloc = fast_alloc;
+    g_full_alloc = full_alloc;
+    g_alloc_ratio = alloc_ratio;
+    g_pass = speedup >= 2.0 && alloc_ratio <= 0.5;
+  }
+
+(* --- output --------------------------------------------------------- *)
+
+let json_hist b h =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i (lo, hi, c) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "[%d, %d, %d]" lo hi c)
+    (Hist.nonzero h);
+  Buffer.add_char b ']'
+
+let json_config b c =
+  let q h p = Hist.percentile h p in
+  Printf.bprintf b
+    {|    {"lock": %S, "arrival": %S, "passages": %d, "measured": %d, "steps": %d,
+     "wall_s": %.3f, "throughput_passages_per_s": %.0f, "steps_per_passage": %.1f,
+     "minor_words_per_passage": %.1f,
+     "latency_steps": {"p50": %d, "p90": %d, "p99": %d, "p999": %d, "max": %d, "mean": %.1f},
+     "rmr_per_passage": {"p50": %d, "p99": %d, "max": %d, "mean": %.2f, "hist": |}
+    c.co_lock (arrival_name c.co_arrival) c.co_passages c.co_measured c.co_steps c.co_wall
+    (float_of_int c.co_passages /. Float.max 1e-9 c.co_wall)
+    (float_of_int c.co_steps /. float_of_int (max 1 c.co_passages))
+    (c.co_minor_words /. float_of_int (max 1 c.co_passages))
+    (q c.co_lat 0.50) (q c.co_lat 0.90) (q c.co_lat 0.99) (q c.co_lat 0.999) (Hist.max c.co_lat)
+    (Hist.mean c.co_lat) (q c.co_rmr 0.50) (q c.co_rmr 0.99) (Hist.max c.co_rmr)
+    (Hist.mean c.co_rmr);
+  json_hist b c.co_rmr;
+  Printf.bprintf b {|},
+     "latency_hist": |};
+  json_hist b c.co_lat;
+  Printf.bprintf b {|, "stalls": %d}|} (List.length c.co_stalls)
+
+let statsd_config b c =
+  let base = Printf.sprintf "rme.service.%s.%s" c.co_lock (arrival_name c.co_arrival) in
+  Metrics.statsd_count b (base ^ ".passages") c.co_passages;
+  Metrics.statsd_gauge b
+    (base ^ ".throughput_passages_per_s")
+    (float_of_int c.co_passages /. Float.max 1e-9 c.co_wall);
+  Metrics.statsd_timing b (base ^ ".latency.p50") (Hist.percentile c.co_lat 0.50);
+  Metrics.statsd_timing b (base ^ ".latency.p99") (Hist.percentile c.co_lat 0.99);
+  Metrics.statsd_timing b (base ^ ".latency.p999") (Hist.percentile c.co_lat 0.999);
+  Metrics.statsd_gauge b (base ^ ".rmr.mean") (Hist.mean c.co_rmr);
+  Metrics.statsd_gauge b (base ^ ".minor_words_per_passage")
+    (c.co_minor_words /. float_of_int (max 1 c.co_passages));
+  Metrics.statsd_count b (base ^ ".stalls") (List.length c.co_stalls)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* --- driver --------------------------------------------------------- *)
+
+let service passages locks arrivals clients shards seed gap burst cs_yields warmup_frac smoke out
+    statsd no_gate jobs =
+  let passages = if smoke then min passages 60_000 else passages in
+  let specs =
+    List.map
+      (fun key ->
+        match Rme.Spec.find key with
+        | Some s -> s
+        | None ->
+            Fmt.epr "service: unknown lock %S (known: %s)@." key
+              (String.concat ", " (Rme.Spec.keys ()));
+            exit 2)
+      locks
+  in
+  let arrivals =
+    List.map
+      (fun a ->
+        match arrival_of_string a with
+        | Ok a -> a
+        | Error msg ->
+            Fmt.epr "service: %s@." msg;
+            exit 2)
+      arrivals
+  in
+  let domains = match jobs with Some j -> max 1 j | None -> Rme_check.Pool.default_domains () in
+  let shards = match shards with Some s -> max 1 s | None -> domains in
+  let configs = List.concat_map (fun s -> List.map (fun a -> (s, a)) arrivals) specs in
+  let nconfigs = List.length configs in
+  let per_config = (passages + nconfigs - 1) / nconfigs in
+  let per_shard = (per_config + shards - 1) / shards in
+  let requests = max 1 ((per_shard + clients - 1) / clients) in
+  let warmup = int_of_float (warmup_frac *. float_of_int requests) in
+  let tasks =
+    Array.of_list
+      (List.concat_map
+         (fun (idx, (spec, arrival)) ->
+           List.init shards (fun shard ->
+               (spec, arrival, seed + (1009 * idx) + (97 * shard))))
+         (List.mapi (fun i c -> (i, c)) configs))
+  in
+  Fmt.pr "service: %d locks x %d arrivals, %d shards x %d clients x %d requests (%d passages offered, warmup %d/client)@."
+    (List.length specs) (List.length arrivals) shards clients requests
+    (nconfigs * shards * clients * requests)
+    warmup;
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Rme_check.Pool.map ~domains ~tasks (fun ~index:_ ~stop:_ (spec, arrival, seed) ->
+        run_shard ~mode:`Fast ~record:false ~trace_ops:false ~spec ~arrival ~clients ~requests
+          ~warmup ~gap ~burst ~cs_yields ~seed)
+  in
+  let wall_total = Unix.gettimeofday () -. t0 in
+  let merged =
+    List.mapi
+      (fun idx (spec, arrival) ->
+        let outs = ref [] in
+        Array.iteri
+          (fun i r ->
+            let s, a, _ = tasks.(i) in
+            if s == spec && a = arrival then
+              match r with Some o -> outs := o :: !outs | None -> ())
+          results;
+        ignore idx;
+        merge_config ~lock:spec.Rme.Spec.key ~arrival (List.rev !outs))
+      configs
+  in
+  let total_passages = List.fold_left (fun acc c -> acc + c.co_passages) 0 merged in
+  let stalls = List.concat_map (fun c -> List.map (fun m -> (c, m)) c.co_stalls) merged in
+  List.iter
+    (fun c ->
+      Fmt.pr "%-12s %-8s %8d passages  %7.0f/s  p50=%-6d p99=%-6d p999=%-6d rmr p99=%-4d %s@."
+        c.co_lock (arrival_name c.co_arrival) c.co_passages
+        (float_of_int c.co_passages /. Float.max 1e-9 c.co_wall)
+        (Hist.percentile c.co_lat 0.50) (Hist.percentile c.co_lat 0.99)
+        (Hist.percentile c.co_lat 0.999) (Hist.percentile c.co_rmr 0.99)
+        (if c.co_stalls = [] then "" else "STALL"))
+    merged;
+  let gate =
+    if no_gate then None
+    else begin
+      let spec = List.hd specs in
+      let gate_requests = max 256 (min requests 4096) in
+      Fmt.pr "gate: fast vs instrumented on %s (%d clients x %d requests, single domain)@."
+        spec.Rme.Spec.key clients gate_requests;
+      let g = run_gate ~spec ~clients ~requests:gate_requests ~burst ~cs_yields ~seed in
+      Fmt.pr
+        "gate: fast %.0f passages/s vs full %.0f (%.2fx, need >= 2.0); %.1f vs %.1f minor \
+         words/passage (%.2fx, need <= 0.5) -> %s@."
+        g.g_fast_tp g.g_full_tp g.g_speedup g.g_fast_alloc g.g_full_alloc g.g_alloc_ratio
+        (if g.g_pass then "PASS" else "FAIL");
+      Some g
+    end
+  in
+  (* BENCH_service.json *)
+  let b = Buffer.create 8192 in
+  Printf.bprintf b "{\n  \"bench\": \"service\",\n  \"host\": %s,\n" (Metrics.host_json ());
+  Printf.bprintf b
+    {|  "config": {"passages": %d, "clients": %d, "shards": %d, "domains": %d, "seed": %d,
+             "gap": %d, "burst": %d, "cs_yields": %d, "warmup_frac": %g,
+             "locks": [%s], "arrivals": [%s]},
+|}
+    total_passages clients shards domains seed gap burst cs_yields warmup_frac
+    (String.concat ", " (List.map (fun (s : Rme.Spec.t) -> Printf.sprintf "%S" s.key) specs))
+    (String.concat ", " (List.map (fun a -> Printf.sprintf "%S" (arrival_name a)) arrivals));
+  (match gate with
+  | None -> Buffer.add_string b "  \"gate\": null,\n"
+  | Some g ->
+      Printf.bprintf b
+        {|  "gate": {"fast_passages_per_s": %.0f, "full_passages_per_s": %.0f, "speedup": %.2f,
+           "fast_minor_words_per_passage": %.1f, "full_minor_words_per_passage": %.1f,
+           "alloc_ratio": %.3f, "pass": %b},
+|}
+        g.g_fast_tp g.g_full_tp g.g_speedup g.g_fast_alloc g.g_full_alloc g.g_alloc_ratio g.g_pass);
+  Buffer.add_string b "  \"results\": [\n";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string b ",\n";
+      json_config b c)
+    merged;
+  Printf.bprintf b "\n  ],\n  \"totals\": {\"passages\": %d, \"wall_s\": %.3f, \"passages_per_s\": %.0f, \"stalls\": %d}\n}\n"
+    total_passages wall_total
+    (float_of_int total_passages /. Float.max 1e-9 wall_total)
+    (List.length stalls);
+  write_file out (Buffer.contents b);
+  Fmt.pr "total: %d passages in %.1fs (%.0f passages/s) -> %s@." total_passages wall_total
+    (float_of_int total_passages /. Float.max 1e-9 wall_total)
+    out;
+  (match statsd with
+  | None -> ()
+  | Some path ->
+      let sb = Buffer.create 2048 in
+      List.iter (statsd_config sb) merged;
+      Metrics.statsd_count sb "rme.service.total.passages" total_passages;
+      Metrics.statsd_gauge sb "rme.service.total.passages_per_s"
+        (float_of_int total_passages /. Float.max 1e-9 wall_total);
+      write_file path (Buffer.contents sb);
+      Fmt.pr "statsd lines -> %s@." path);
+  List.iter
+    (fun (c, msg) ->
+      Fmt.epr "STALL %s/%s: %s@." c.co_lock (arrival_name c.co_arrival) msg)
+    stalls;
+  let gate_failed = match gate with Some g -> not g.g_pass | None -> false in
+  if stalls <> [] then 1 else if gate_failed then 1 else 0
+
+let () =
+  let passages =
+    Arg.(
+      value & opt int 1_200_000
+      & info [ "passages" ] ~docv:"N" ~doc:"Total passages offered across all configurations.")
+  in
+  let locks =
+    Arg.(
+      value
+      & opt (list string) [ "wr"; "ramaraju"; "ba-jjj"; "dm-jjj" ]
+      & info [ "locks" ] ~docv:"KEYS" ~doc:"Comma-separated registry lock keys to serve.")
+  in
+  let arrivals =
+    Arg.(
+      value
+      & opt (list string) [ "poisson"; "bursty" ]
+      & info [ "arrivals" ] ~docv:"PROCS" ~doc:"Arrival processes: poisson and/or bursty.")
+  in
+  let clients =
+    Arg.(value & opt int 8 & info [ "clients" ] ~docv:"N" ~doc:"Client processes per engine.")
+  in
+  let shards =
+    Arg.(
+      value & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Engine shards per configuration (default: the domain count).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Base seed.") in
+  let gap =
+    Arg.(
+      value & opt int 1_600
+      & info [ "gap" ] ~docv:"STEPS"
+          ~doc:
+            "Mean inter-arrival gap per client, in engine steps.  The default keeps the \
+             heaviest registry lock below saturation (~110 steps/passage against one arrival \
+             per 200 steps with 8 clients), so the latency quantiles measure queueing, not an \
+             unbounded backlog.")
+  in
+  let burst =
+    Arg.(value & opt int 8 & info [ "burst" ] ~docv:"K" ~doc:"Arrivals per burst (bursty).")
+  in
+  let cs_yields =
+    Arg.(
+      value & opt int 2
+      & info [ "cs-yields" ] ~docv:"K" ~doc:"Critical-section length in scheduling points.")
+  in
+  let warmup =
+    Arg.(
+      value & opt float 0.1
+      & info [ "warmup" ] ~docv:"FRAC"
+          ~doc:"Fraction of each client's requests excluded from the histograms.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"Cap the campaign at 60k passages (CI smoke profile).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_service.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"JSON report path.")
+  in
+  let statsd =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "statsd" ] ~docv:"FILE" ~doc:"Also export StatsD lines to $(docv).")
+  in
+  let no_gate =
+    Arg.(
+      value & flag
+      & info [ "no-gate" ] ~doc:"Skip the fast-vs-instrumented performance gate.")
+  in
+  let jobs =
+    Arg.(
+      value & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"OCaml domains (default: RME_DOMAINS or auto).")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "service"
+         ~doc:
+           "Open-loop lock-service benchmark over the registry: throughput, latency quantiles, \
+            RMR histograms, allocation rates; BENCH_service.json out.")
+      Term.(
+        const service $ passages $ locks $ arrivals $ clients $ shards $ seed $ gap $ burst
+        $ cs_yields $ warmup $ smoke $ out $ statsd $ no_gate $ jobs)
+  in
+  exit (Cmd.eval' cmd)

@@ -77,7 +77,7 @@ let run_one ~spec ~scenario ~seed =
       ?abort:(abort_expect spec)
       res ~requests:cfg.Rme.Workload.requests ~weak_lock_ids:(weak_lock_ids spec)
   in
-  (problems, describe cfg)
+  (problems, describe cfg, res.Engine.steps)
 
 let selected_specs lock =
   match lock with
@@ -143,12 +143,16 @@ let soak lock scenario runs seed_base verbose jobs =
         run_one ~spec ~scenario ~seed)
   in
   let failures = ref [] in
+  let engine_runs = ref 0 in
+  let engine_steps = ref 0 in
   Array.iteri
     (fun i result ->
       let spec, seed = tasks.(i) in
       match result with
       | None -> ()
-      | Some (problems, descr) ->
+      | Some (problems, descr, steps) ->
+          incr engine_runs;
+          engine_steps := !engine_steps + steps;
           if verbose then
             Fmt.pr "%-16s seed=%-6d %s %s@." spec.Rme.Spec.key seed descr
               (if problems = [] then "ok" else "FAIL");
@@ -160,11 +164,13 @@ let soak lock scenario runs seed_base verbose jobs =
   let failures = List.rev !failures in
   let total = Array.length tasks in
   if failures = [] then begin
-    Fmt.pr "@.soak clean: %d runs, 0 violations@." total;
+    Fmt.pr "@.soak clean: %d runs, 0 violations (engine: %d runs, %d steps)@." total !engine_runs
+      !engine_steps;
     0
   end
   else begin
-    Fmt.pr "@.%d VIOLATIONS in %d runs:@." (List.length failures) total;
+    Fmt.pr "@.%d VIOLATIONS in %d runs (engine: %d runs, %d steps):@." (List.length failures)
+      total !engine_runs !engine_steps;
     List.iter
       (fun f ->
         Fmt.pr "  %s seed=%d: %s@.    (replay: soak --replay %d --lock %s)@." f.lock f.seed

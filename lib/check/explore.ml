@@ -8,6 +8,22 @@ let pp_outcome ppf o =
          Fmt.pf ppf " VIOLATION %s at %a" msg Fmt.(Dump.list int) tr))
     o.violation
 
+(* Effort counters, reported via the [stats] callback rather than inside
+   [outcome]: outcomes are compared whole-record across domain counts (the
+   byte-identical determinism contract), while engine step totals legally
+   vary with checkpoint restarts and cache totals with the task split. *)
+type search_stats = {
+  engine_runs : int;
+  engine_steps : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+}
+
+let pp_search_stats ppf s =
+  Fmt.pf ppf "engine runs=%d steps=%d; statecache hits=%d misses=%d evictions=%d" s.engine_runs
+    s.engine_steps s.cache_hits s.cache_misses s.cache_evictions
+
 (* Greedy minimisation of a violating decision vector: zero out decisions
    and truncate, keeping every change that still reproduces a violation.
    Zero is the canonical "lowest-pid" choice, so a minimised trace reads as
@@ -53,6 +69,9 @@ type 'a driver = {
   check : Engine.result -> string option;
   por : bool;
   crashy : int -> bool;
+  tally : Engine.result -> unit;
+      (* fired once per engine execution (probes and shrink replays
+         included) — feeds the [stats] callback's effort counters *)
 }
 
 (* Decide which reduction tier can actually run.  Both reduced tiers need
@@ -89,6 +108,7 @@ let run_trace ?(state_key_at = -1) ?(on_state_key = fun _ -> ()) d trace =
       ~record:d.record ~max_steps:d.max_steps ~n:d.n ~model:d.model ~sched ~crash:(d.crash ())
       ~abort:(d.abort ()) ~setup:d.setup ~body:d.body ()
   in
+  d.tally res;
   (res, Vec.to_array record, footprints, !mismatch)
 
 (* A shrink candidate counts only if it reproduces the violation *and* its
@@ -488,10 +508,40 @@ let cache_for ~n ~statecache ~cache_capacity =
 
 let explore ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = true)
     ?(record = false) ?(por = `Sleep) ?statecache ?(cache_capacity = 65_536)
-    ?(abort = fun () -> Abort.none) ~n ~model ~crash ~setup ~body ~check () =
+    ?(abort = fun () -> Abort.none) ?stats ~n ~model ~crash ~setup ~body ~check () =
   let tier, crashy = por_setup ~por ~record ~crash ~abort in
+  let runs_total = ref 0 in
+  let steps_total = ref 0 in
+  let tally =
+    match stats with
+    | None -> fun (_ : Engine.result) -> ()
+    | Some _ ->
+        fun (r : Engine.result) ->
+          incr runs_total;
+          steps_total := !steps_total + r.Engine.steps
+  in
   let d =
-    { max_steps; record; n; model; crash; abort; setup; body; check; por = tier <> `Off; crashy }
+    {
+      max_steps;
+      record;
+      n;
+      model;
+      crash;
+      abort;
+      setup;
+      body;
+      check;
+      por = tier <> `Off;
+      crashy;
+      tally;
+    }
+  in
+  (* Hoisted so the [stats] callback can read the counters after the
+     search, whichever branch ran. *)
+  let cache =
+    match tier with
+    | `Source -> cache_for ~n ~statecache ~cache_capacity
+    | `Off | `Sleep -> None
   in
   let runs = ref 0 in
   let truncated = ref false in
@@ -506,11 +556,12 @@ let explore ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = tr
     end
   in
   let stop () = false in
-  match tier with
-  | `Off ->
-      let violation = subtree d ~take_run ~stop ([], []) in
-      finish d ~shrink_violations ~runs:!runs ~truncated:!truncated violation
-  | (`Sleep | `Source) as tier ->
+  let outcome =
+    match tier with
+    | `Off ->
+        let violation = subtree d ~take_run ~stop ([], []) in
+        finish d ~shrink_violations ~runs:!runs ~truncated:!truncated violation
+    | (`Sleep | `Source) as tier ->
       (* Root probe: the very first run — the default schedule — executes
          footprint-free.  When it already violates, the whole search is
          that one run and the reduction machinery never pays its footprint
@@ -537,12 +588,29 @@ let explore ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = tr
               match tier with
               | `Sleep -> subtree d ~take_run:take_run' ~stop ([], [])
               | `Source ->
-                  let cache = cache_for ~n ~statecache ~cache_capacity in
                   let ctx = { Src.slots = Vec.create (); root = 0; cache } in
                   subtree_source d ~ctx ~take_run:take_run' ~stop ([], [])
             in
             finish d ~shrink_violations ~runs:!runs ~truncated:!truncated violation
       end
+  in
+  (match stats with
+  | None -> ()
+  | Some f ->
+      let cache_hits, cache_misses, cache_evictions =
+        match cache with
+        | Some c -> (Statecache.hits c, Statecache.misses c, Statecache.evictions c)
+        | None -> (0, 0, 0)
+      in
+      f
+        {
+          engine_runs = !runs_total;
+          engine_steps = !steps_total;
+          cache_hits;
+          cache_misses;
+          cache_evictions;
+        });
+  outcome
 
 (* ------------------------------------------------------------------ *)
 (* Parallel exploration                                                *)
@@ -582,6 +650,7 @@ let subtree_ckpt d ~snap_gap ~take_run ~stop (prefix0, sleep0) =
         ~model:d.model ~crash:d.crash ~abort:d.abort ~setup:d.setup ~body:d.body ()
     in
     let res = rr.Engine.rr_result in
+    d.tally res;
     (match d.check res with
     | Some msg -> raise (Found (msg, Array.to_list decisions))
     | None -> ());
@@ -672,6 +741,7 @@ let subtree_ckpt_source d ~snap_gap ~ctx ~take_run ~stop (prefix0, inh0) =
         ~decisions ~n:d.n ~model:d.model ~crash:d.crash ~abort:d.abort ~setup:d.setup ~body:d.body ()
     in
     let res = rr.Engine.rr_result in
+    d.tally res;
     (match d.check res with
     | Some msg -> raise (Found (msg, Array.to_list decisions))
     | None -> ());
@@ -807,10 +877,40 @@ type task_result = { t_runs : int; t_viol : (string * int list) option; t_cut : 
 
 let explore_parallel ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violations = true)
     ?(record = false) ?(por = `Sleep) ?(cache_capacity = 65_536) ?domains ?(split_depth = 1)
-    ?(snap_gap = 4) ?(abort = fun () -> Abort.none) ~n ~model ~crash ~setup ~body ~check () =
+    ?(snap_gap = 4) ?(abort = fun () -> Abort.none) ?stats ~n ~model ~crash ~setup ~body ~check ()
+    =
   let tier, crashy = por_setup ~por ~record ~crash ~abort in
+  (* Effort counters accumulate atomically: the tally fires on whatever
+     domain runs the task.  They feed only the [stats] callback, never the
+     outcome, so the domain-count determinism contract is untouched. *)
+  let runs_a = Atomic.make 0 in
+  let steps_a = Atomic.make 0 in
+  let cache_hits_a = Atomic.make 0 in
+  let cache_misses_a = Atomic.make 0 in
+  let cache_evictions_a = Atomic.make 0 in
+  let tally =
+    match stats with
+    | None -> fun (_ : Engine.result) -> ()
+    | Some _ ->
+        fun (r : Engine.result) ->
+          Atomic.incr runs_a;
+          ignore (Atomic.fetch_and_add steps_a r.Engine.steps)
+  in
   let d =
-    { max_steps; record; n; model; crash; abort; setup; body; check; por = tier <> `Off; crashy }
+    {
+      max_steps;
+      record;
+      n;
+      model;
+      crash;
+      abort;
+      setup;
+      body;
+      check;
+      por = tier <> `Off;
+      crashy;
+      tally;
+    }
   in
   let ndomains =
     match domains with Some x when x >= 1 -> x | Some _ -> 1 | None -> Pool.default_domains ()
@@ -976,7 +1076,14 @@ let explore_parallel ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violat
              the domain count, so 1/2/4-domain outcomes stay identical. *)
           let cache = cache_for ~n ~statecache:None ~cache_capacity in
           let ctx = { Src.slots = Vec.create (); root = List.length prefix; cache } in
-          subtree_ckpt_source d ~snap_gap ~ctx ~take_run ~stop (prefix, sleep)
+          let r = subtree_ckpt_source d ~snap_gap ~ctx ~take_run ~stop (prefix, sleep) in
+          (match cache with
+          | Some c ->
+              ignore (Atomic.fetch_and_add cache_hits_a (Statecache.hits c));
+              ignore (Atomic.fetch_and_add cache_misses_a (Statecache.misses c));
+              ignore (Atomic.fetch_and_add cache_evictions_a (Statecache.evictions c))
+          | None -> ());
+          r
     in
     Atomic.set progress.(j) !u;
     match r with
@@ -1018,7 +1125,21 @@ let explore_parallel ?(max_runs = 100_000) ?(max_steps = 20_000) ?(shrink_violat
                 else settle (acc + r.t_runs) (ti + 1) rest))
   in
   let outcome = settle 0 0 items in
-  match outcome.violation with
-  | Some (msg, tr) when shrink_violations ->
-      { outcome with violation = Some (msg, shrink ~reproduces:(faithful_reproduces d) tr) }
-  | Some _ | None -> outcome
+  let outcome =
+    match outcome.violation with
+    | Some (msg, tr) when shrink_violations ->
+        { outcome with violation = Some (msg, shrink ~reproduces:(faithful_reproduces d) tr) }
+    | Some _ | None -> outcome
+  in
+  (match stats with
+  | None -> ()
+  | Some f ->
+      f
+        {
+          engine_runs = Atomic.get runs_a;
+          engine_steps = Atomic.get steps_a;
+          cache_hits = Atomic.get cache_hits_a;
+          cache_misses = Atomic.get cache_misses_a;
+          cache_evictions = Atomic.get cache_evictions_a;
+        });
+  outcome

@@ -25,6 +25,21 @@ type outcome = {
 
 val pp_outcome : outcome Fmt.t
 
+type search_stats = {
+  engine_runs : int;  (** engine executions: distinct runs, probes, shrink replays *)
+  engine_steps : int;  (** total simulation steps across all those executions *)
+  cache_hits : int;  (** {!Statecache} subtree prunes ([`Source] only, else 0) *)
+  cache_misses : int;  (** state-cache lookups that found nothing *)
+  cache_evictions : int;  (** entries displaced by the cache's capacity bound *)
+}
+(** Search-effort counters, reported through the [?stats] callback of
+    {!explore} / {!explore_parallel}.  Deliberately {e not} part of
+    {!outcome}: outcomes are compared byte-for-byte across domain counts
+    (and step totals vary with checkpoint restarts), while these counters
+    describe the effort of one particular search. *)
+
+val pp_search_stats : search_stats Fmt.t
+
 val shrink : reproduces:(int list -> bool) -> int list -> int list
 (** Greedily minimise a violating decision vector: zero decisions and strip
     the implied default suffix while [reproduces] keeps returning [true].
@@ -39,6 +54,7 @@ val explore :
   ?statecache:Footprint.t list option Statecache.t ->
   ?cache_capacity:int ->
   ?abort:(unit -> Abort.t) ->
+  ?stats:(search_stats -> unit) ->
   n:int ->
   model:Memory.model ->
   crash:(unit -> Crash.t) ->
@@ -97,7 +113,11 @@ val explore :
     hashes/capacities to exercise collision behaviour); by default a
     fresh cache of [cache_capacity] (default 65536) entries is built per
     call.  [cache_capacity = 0] disables state caching — the source-set
-    reduction still applies.  Both are ignored outside [`Source]. *)
+    reduction still applies.  Both are ignored outside [`Source].
+
+    [stats], when given, is called exactly once, after the search
+    completes (including shrinking), with the {!search_stats} effort
+    counters for this call. *)
 
 val explore_parallel :
   ?max_runs:int ->
@@ -110,6 +130,7 @@ val explore_parallel :
   ?split_depth:int ->
   ?snap_gap:int ->
   ?abort:(unit -> Abort.t) ->
+  ?stats:(search_stats -> unit) ->
   n:int ->
   model:Memory.model ->
   crash:(unit -> Crash.t) ->
@@ -158,4 +179,10 @@ val explore_parallel :
     [crash], [setup], [body] and [check] are called concurrently from
     multiple domains and must be domain-safe: no shared mutable state
     outside the per-run engine (in particular no global [Random] and no
-    captured growing [Vec]s; {!Engine.run} itself is re-entrant). *)
+    captured growing [Vec]s; {!Engine.run} itself is re-entrant).
+
+    [stats] is called exactly once, after settlement and shrinking, from
+    the calling domain.  Its counters are accumulated atomically across
+    workers, so — unlike the outcome — they are {e not} deterministic
+    across domain counts (work-stealing decides how many nodes each
+    worker privately visits beyond the settled region). *)

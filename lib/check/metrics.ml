@@ -1,0 +1,141 @@
+(* Measurement plumbing for the benchmark harnesses: fixed-footprint
+   histograms with bounded relative error, a host descriptor for BENCH_*
+   provenance, and StatsD-style line export.
+
+   The histogram is log-linear (HdrHistogram-style): values below [linear]
+   get exact unit buckets; above, each power of two splits into [sub]
+   sub-buckets, so any reported quantile is at most one sub-bucket wide —
+   under 1% relative error — while the whole structure is one flat int
+   array that records in O(1) with no allocation.  That matters because the
+   service harness records one latency and one RMR count per passage for
+   millions of passages; storing raw samples would swamp the heap and the
+   sort, and allocating per sample would skew the Gc numbers the harness
+   itself reports. *)
+
+module Hist = struct
+  let linear = 256
+
+  let sub = 128 (* sub-buckets per power of two at and above 2^8 *)
+
+  (* Highest representable msb position is [Sys.int_size - 2] (non-negative
+     ints), so k ranges over [8, Sys.int_size - 2]. *)
+  let slots = linear + ((Sys.int_size - 9) * sub)
+
+  type t = {
+    buckets : int array;
+    mutable total : int;
+    mutable sum : int;
+    mutable lo : int; (* smallest recorded value; max_int while empty *)
+    mutable hi : int; (* largest recorded value; -1 while empty *)
+  }
+
+  let create () = { buckets = Array.make slots 0; total = 0; sum = 0; lo = max_int; hi = -1 }
+
+  let clear t =
+    Array.fill t.buckets 0 slots 0;
+    t.total <- 0;
+    t.sum <- 0;
+    t.lo <- max_int;
+    t.hi <- -1
+
+  let index v =
+    if v < linear then v
+    else begin
+      (* msb position of v; v >= 256 so k >= 8 *)
+      let k = ref 8 in
+      while v lsr (!k + 1) <> 0 do
+        incr k
+      done;
+      let k = !k in
+      (* top 8 bits of v: in [128, 256) *)
+      let mantissa = v lsr (k - 7) in
+      linear + ((k - 8) * sub) + (mantissa - sub)
+    end
+
+  (* Inclusive value range covered by bucket [i]. *)
+  let bucket_lo i =
+    if i < linear then i
+    else begin
+      let k = 8 + ((i - linear) / sub) in
+      let m = sub + ((i - linear) mod sub) in
+      m lsl (k - 7)
+    end
+
+  let bucket_hi i =
+    if i < linear then i
+    else begin
+      let k = 8 + ((i - linear) / sub) in
+      let m = sub + ((i - linear) mod sub) in
+      ((m + 1) lsl (k - 7)) - 1
+    end
+
+  let add t v =
+    let v = if v < 0 then 0 else v in
+    let i = index v in
+    t.buckets.(i) <- t.buckets.(i) + 1;
+    t.total <- t.total + 1;
+    t.sum <- t.sum + v;
+    if v < t.lo then t.lo <- v;
+    if v > t.hi then t.hi <- v
+
+  let count t = t.total
+
+  let sum t = t.sum
+
+  let min t = if t.total = 0 then 0 else t.lo
+
+  let max t = if t.total = 0 then 0 else t.hi
+
+  let mean t = if t.total = 0 then 0.0 else float_of_int t.sum /. float_of_int t.total
+
+  let merge_into ~into t =
+    for i = 0 to slots - 1 do
+      if t.buckets.(i) <> 0 then into.buckets.(i) <- into.buckets.(i) + t.buckets.(i)
+    done;
+    into.total <- into.total + t.total;
+    into.sum <- into.sum + t.sum;
+    if t.lo < into.lo then into.lo <- t.lo;
+    if t.hi > into.hi then into.hi <- t.hi
+
+  let percentile t q =
+    if t.total = 0 then 0
+    else begin
+      let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+      let rank = int_of_float (ceil (q *. float_of_int t.total)) in
+      let rank = if rank < 1 then 1 else rank in
+      let acc = ref 0 in
+      let i = ref 0 in
+      while !acc < rank && !i < slots do
+        acc := !acc + t.buckets.(!i);
+        incr i
+      done;
+      (* [!i - 1] is the bucket containing the ranked sample; clamp its
+         upper bound by the true maximum so p100 is exact. *)
+      let hi = bucket_hi (!i - 1) in
+      if hi > t.hi then t.hi else hi
+    end
+
+  let nonzero t =
+    let out = ref [] in
+    for i = slots - 1 downto 0 do
+      if t.buckets.(i) <> 0 then out := (bucket_lo i, bucket_hi i, t.buckets.(i)) :: !out
+    done;
+    !out
+end
+
+(* Provenance header for every BENCH_*.json: enough to interpret throughput
+   and domain-scaling numbers without the machine at hand. *)
+let host_json () =
+  Printf.sprintf
+    {|{"recommended_domain_count": %d, "ocaml_version": %S, "word_size": %d, "int_size": %d, "os_type": %S}|}
+    (Domain.recommended_domain_count ())
+    Sys.ocaml_version Sys.word_size Sys.int_size Sys.os_type
+
+(* StatsD line protocol (the flavour every agent accepts: name:value|type).
+   The harness appends lines into one buffer and dumps it to a file or
+   stdout; shipping it over UDP is the caller's business. *)
+let statsd_count b name v = Printf.bprintf b "%s:%d|c\n" name v
+
+let statsd_gauge b name v = Printf.bprintf b "%s:%g|g\n" name v
+
+let statsd_timing b name v = Printf.bprintf b "%s:%d|ms\n" name v

@@ -1,0 +1,63 @@
+(** Measurement plumbing for the benchmark harnesses.
+
+    {!Hist} is a log-linear histogram (HdrHistogram-style): O(1) allocation-
+    free recording into a fixed int array, quantiles with under 1% relative
+    error.  The service harness records one latency and one RMR count per
+    passage over millions of passages; raw-sample storage would swamp both
+    the heap and the final sort, and per-sample allocation would skew the
+    Gc statistics the harness itself reports. *)
+
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  (** An empty histogram.  Fixed footprint (a few thousand buckets): values
+      below 256 get exact unit buckets, larger values share one bucket per
+      1/128th of a power of two. *)
+
+  val add : t -> int -> unit
+  (** Record one sample.  Negative values clamp to 0.  O(1), allocates
+      nothing. *)
+
+  val count : t -> int
+
+  val sum : t -> int
+
+  val min : t -> int
+  (** Exact smallest recorded sample; 0 when empty. *)
+
+  val max : t -> int
+  (** Exact largest recorded sample; 0 when empty. *)
+
+  val mean : t -> float
+  (** Exact mean (the sum is tracked outside the buckets); 0 when empty. *)
+
+  val percentile : t -> float -> int
+  (** [percentile t q] with [q] ∈ [0, 1]: an upper bound on the sample at
+      rank ⌈q·count⌉, tight to the containing bucket (≤ 1% relative error)
+      and clamped by the exact maximum.  0 when empty. *)
+
+  val merge_into : into:t -> t -> unit
+  (** Fold [t]'s samples into [into] — how the per-shard histograms the
+      service harness records on separate domains combine. *)
+
+  val clear : t -> unit
+
+  val nonzero : t -> (int * int * int) list
+  (** Occupied buckets in ascending order as [(lo, hi, count)] inclusive
+      value ranges — the compact histogram export in BENCH_service.json. *)
+end
+
+val host_json : unit -> string
+(** One-line JSON object describing the host — recommended domain count,
+    OCaml version, word size — embedded in every BENCH_*.json so results
+    carry their provenance. *)
+
+val statsd_count : Buffer.t -> string -> int -> unit
+(** [statsd_count b name v] appends [name:v|c\n]. *)
+
+val statsd_gauge : Buffer.t -> string -> float -> unit
+(** [statsd_gauge b name v] appends [name:v|g\n]. *)
+
+val statsd_timing : Buffer.t -> string -> int -> unit
+(** [statsd_timing b name v] appends [name:v|ms\n]. *)

@@ -30,6 +30,7 @@ type _ view =
   | V_spin_abortable : Cell.t * cond -> unit view
   | V_note : Event.note -> unit view
   | V_get_done : int view
+  | V_get_step : int view
   | V_poll_abort : bool view
   | V_yield : unit view
 
@@ -48,6 +49,7 @@ let kind_of_view : type a. a view -> kind = function
   | V_spin_abortable _ -> Spin
   | V_note _ -> Note
   | V_get_done -> Nop
+  | V_get_step -> Nop
   | V_poll_abort -> Nop
   | V_yield -> Nop
 
@@ -62,7 +64,7 @@ let cell_of_view : type a. a view -> Cell.t option = function
   | V_faa (c, _) -> Some c
   | V_spin (c, _) -> Some c
   | V_spin_abortable (c, _) -> Some c
-  | V_note _ | V_get_done | V_poll_abort | V_yield -> None
+  | V_note _ | V_get_done | V_get_step | V_poll_abort | V_yield -> None
 
 type _ Effect.t += Instr : 'a view -> 'a Effect.t
 
@@ -91,5 +93,7 @@ let poll_abort () = Effect.perform (Instr V_poll_abort)
 let note n = Effect.perform (Instr (V_note n))
 
 let completed_requests () = Effect.perform (Instr V_get_done)
+
+let step () = Effect.perform (Instr V_get_step)
 
 let yield () = Effect.perform (Instr V_yield)

@@ -45,6 +45,7 @@ type _ view =
           apart. *)
   | V_note : Event.note -> unit view
   | V_get_done : int view
+  | V_get_step : int view
   | V_poll_abort : bool view
   | V_yield : unit view
 
@@ -113,6 +114,11 @@ val note : Event.note -> unit
 val completed_requests : unit -> int
 (** Number of satisfied requests of the calling process, tracked by the
     engine as recoverable application state (it survives crashes). *)
+
+val step : unit -> int
+(** The current global engine step — simulated time.  Free: no RMRs, but a
+    scheduling point.  Open-loop workload generators pace arrivals against
+    it ([while Api.step () < due do Api.yield () done]). *)
 
 val yield : unit -> unit
 (** A pure scheduling point: lets the scheduler interleave (and the crash

@@ -122,7 +122,13 @@ type t = {
   abort : Abort.t;
   has_abort : bool;  (* abort != Abort.none: gates all abort bookkeeping *)
   mutable abort_view : Abort.view;  (* oracles over this engine, built once *)
-  record : bool;
+  has_crash : bool;  (* crash != Crash.none: gates the per-step plan consults *)
+  sink : Event.Sink.t;
+  emit : bool;  (* [Event.Sink.wants sink], cached: gates event construction *)
+  consult_ops : bool;  (* build a [Crash.op_info] per instruction and consult
+                          the plans/hooks; off on the fast path, where only
+                          the op counter advances *)
+  track_ans : bool;  (* fold answer-stream digests (journal or state keys) *)
   trace_ops : bool;
   max_steps : int;
   stall_window : int;
@@ -173,7 +179,14 @@ type t = {
   unsafe_crashes : int array;
   lock_names : string array;
   parked_cells : (int, unit) Hashtbl.t;  (* cell ids with parked processes *)
+  (* The [Keep] sink's buffer when the sink has one, else a fresh empty
+     vector — checkpoint capture blits event prefixes from it. *)
   events : Event.t Vec.t;
+  (* Per-count scratch arrays for {!runnable}: [Sched.pick] implementations
+     read [Array.length runnable], so each ready-set size needs an
+     exact-length buffer.  Lazily allocated, reused across steps. *)
+  ready_bufs : int array array;
+  mutable last_rmr : int;  (* RMR cost of the last [apply_view] (scratch) *)
   rmr_by_kind : int array;  (* indexed by a dense Api.kind code *)
   mutable total_rmr : int;
   mutable system_crashes : int;
@@ -183,7 +196,16 @@ type t = {
   mutable timed_out : bool;
 }
 
-let record_event eng ev = if eng.record then Vec.push eng.events ev
+(* Call sites guard with [eng.emit] *before* constructing the event, so a
+   dropping sink costs neither the emit call nor the event allocation. *)
+let record_event eng ev = Event.Sink.emit eng.sink ev
+
+(* Module-level defaults so [run] can detect "no hook supplied" by physical
+   equality and skip per-instruction bookkeeping that exists only to feed
+   the hooks. *)
+let default_on_crash ~pid:_ ~step:_ = ()
+
+let default_on_op (_ : Crash.op_info) = ()
 
 let handler : (unit, status) Effect.Deep.handler =
   {
@@ -198,13 +220,15 @@ let handler : (unit, status) Effect.Deep.handler =
   }
 
 let jpush eng header value =
-  let pid = header lsr 3 in
-  eng.ans_hash.(pid) <- hmix (hmix eng.ans_hash.(pid) header) value;
-  match eng.journal with
-  | Some j ->
-      Vec.push j.jents header;
-      Vec.push j.jents value
-  | None -> ()
+  if eng.track_ans then begin
+    let pid = header lsr 3 in
+    eng.ans_hash.(pid) <- hmix (hmix eng.ans_hash.(pid) header) value;
+    match eng.journal with
+    | Some j ->
+        Vec.push j.jents header;
+        Vec.push j.jents value
+    | None -> ()
+  end
 
 (* The answer a resolved instruction fed its fiber, packed for the journal.
    GADT refinement is per-branch, so same-typed constructors cannot share
@@ -217,6 +241,7 @@ let ans_tag : type a. a Api.view -> int =
   | Api.V_fas_open_unsafe _ -> jt_ans_int
   | Api.V_faa _ -> jt_ans_int
   | Api.V_get_done -> jt_ans_int
+  | Api.V_get_step -> jt_ans_int
   | Api.V_cas _ -> jt_ans_bool
   | Api.V_poll_abort -> jt_ans_bool
   | Api.V_write _ -> jt_ans_unit
@@ -235,6 +260,7 @@ let ans_value : type a. a Api.view -> a -> int =
   | Api.V_fas_open_unsafe _ -> res
   | Api.V_faa _ -> res
   | Api.V_get_done -> res
+  | Api.V_get_step -> res
   | Api.V_cas _ -> Bool.to_int res
   | Api.V_poll_abort -> Bool.to_int res
   | Api.V_write _ -> 0
@@ -266,6 +292,9 @@ let continue_ans : type a. a Api.view -> (a, status) Effect.Deep.continuation ->
       if tag <> jt_ans_int then diverged "expected an int answer";
       Effect.Deep.continue k value
   | Api.V_get_done ->
+      if tag <> jt_ans_int then diverged "expected an int answer";
+      Effect.Deep.continue k value
+  | Api.V_get_step ->
       if tag <> jt_ans_int then diverged "expected an int answer";
       Effect.Deep.continue k value
   | Api.V_cas _ ->
@@ -308,7 +337,9 @@ let kind_code : Api.kind -> int = function
 
 let kind_of_code = [| Api.Read; Api.Write; Api.Cas; Api.Fas; Api.Faa; Api.Spin; Api.Note; Api.Nop |]
 
-let charge ?(kind = Api.Read) eng pid rmr =
+(* [kind] is a required label: the optional-argument default would box
+   dynamically-computed kinds in a [Some] per instruction. *)
+let charge eng pid ~kind rmr =
   if rmr > 0 then begin
     eng.total_rmr <- eng.total_rmr + rmr;
     eng.rmr_by_kind.(kind_code kind) <- eng.rmr_by_kind.(kind_code kind) + rmr;
@@ -347,9 +378,10 @@ let signal_abort eng ~origin pid =
         eng.ab_op_origin.(pid) <- origin;
         eng.ab_own.(pid) <- 0;
         eng.ab_rmr_acc.(pid) <- 0;
-        record_event eng
-          (Event.Note
-             { step = eng.step; pid; super = eng.completed.(pid); note = Event.Abort_signal });
+        if eng.emit then
+          record_event eng
+            (Event.Note
+               { step = eng.step; pid; super = eng.completed.(pid); note = Event.Abort_signal });
         (match st with
         | Parked p when p.pabort -> eng.states.(pid) <- Woken p
         | _ -> ())
@@ -380,7 +412,8 @@ let leave_lock_cs eng pid id =
   end
 
 let handle_note eng pid (n : Event.note) =
-  record_event eng (Event.Note { step = eng.step; pid; super = eng.completed.(pid); note = n });
+  if eng.emit then
+    record_event eng (Event.Note { step = eng.step; pid; super = eng.completed.(pid); note = n });
   match n with
   | Seg Ncs_begin -> ()
   | Seg Req_begin ->
@@ -460,42 +493,58 @@ let open_unsafe eng pid lock =
 let close_unsafe eng pid lock =
   eng.unsafe_open.(pid) <- List.filter (fun x -> x <> lock) eng.unsafe_open.(pid)
 
-(* Apply a non-spin instruction to shared memory, returning its result and
-   RMR cost.  Window bookkeeping happens here so that a crash injected
-   after the instruction sees the correct unsafe state. *)
-let apply_view : type a. t -> int -> a Api.view -> a * int =
+(* Apply a non-spin instruction to shared memory, returning its bare result
+   and leaving the RMR cost in [eng.last_rmr] — a tuple here would be one
+   allocation per instruction.  Window bookkeeping happens here so that a
+   crash injected after the instruction sees the correct unsafe state. *)
+let apply_view : type a. t -> int -> a Api.view -> a =
  fun eng pid view ->
   let mem = eng.mem in
   match view with
-  | Api.V_read c -> Memory.read mem ~pid c
-  | Api.V_write (c, v) -> ((), Memory.write mem ~pid c v)
-  | Api.V_cas (c, expect, value) -> Memory.cas mem ~pid c ~expect ~value
-  | Api.V_fas (c, v) -> Memory.fas mem ~pid c v
+  | Api.V_read c ->
+      let v = Memory.read_u mem ~pid c in
+      eng.last_rmr <- Memory.last_cost mem;
+      v
+  | Api.V_write (c, v) -> eng.last_rmr <- Memory.write mem ~pid c v
+  | Api.V_cas (c, expect, value) ->
+      let ok = Memory.cas_u mem ~pid c ~expect ~value in
+      eng.last_rmr <- Memory.last_cost mem;
+      ok
+  | Api.V_fas (c, v) ->
+      let old = Memory.fas_u mem ~pid c v in
+      eng.last_rmr <- Memory.last_cost mem;
+      old
   | Api.V_fas_open_unsafe (lock, c, v) ->
-      let r = Memory.fas mem ~pid c v in
+      let old = Memory.fas_u mem ~pid c v in
+      eng.last_rmr <- Memory.last_cost mem;
       open_unsafe eng pid lock;
-      r
+      old
   | Api.V_write_close_unsafe (lock, c, v) ->
-      let m = Memory.write mem ~pid c v in
-      close_unsafe eng pid lock;
-      ((), m)
+      eng.last_rmr <- Memory.write mem ~pid c v;
+      close_unsafe eng pid lock
   | Api.V_fas_persist (c, v, dst) ->
-      let old, m1 = Memory.fas mem ~pid c v in
-      let m2 = Memory.write mem ~pid dst old in
-      ((), m1 + m2)
-  | Api.V_faa (c, v) -> Memory.faa mem ~pid c v
+      let old = Memory.fas_u mem ~pid c v in
+      let m1 = Memory.last_cost mem in
+      eng.last_rmr <- m1 + Memory.write mem ~pid dst old
+  | Api.V_faa (c, v) ->
+      let old = Memory.faa_u mem ~pid c v in
+      eng.last_rmr <- Memory.last_cost mem;
+      old
   | Api.V_note n ->
-      handle_note eng pid n;
-      ((), 0)
-  | Api.V_get_done -> (eng.completed.(pid), 0)
-  | Api.V_poll_abort -> (eng.ab_flag.(pid), 0)
-  | Api.V_yield -> ((), 0)
+      eng.last_rmr <- 0;
+      handle_note eng pid n
+  | Api.V_get_done ->
+      eng.last_rmr <- 0;
+      eng.completed.(pid)
+  | Api.V_get_step ->
+      eng.last_rmr <- 0;
+      eng.step
+  | Api.V_poll_abort ->
+      eng.last_rmr <- 0;
+      eng.ab_flag.(pid)
+  | Api.V_yield -> eng.last_rmr <- 0
   | Api.V_spin _ -> assert false (* handled by [exec] *)
   | Api.V_spin_abortable _ -> assert false (* handled by [exec] *)
-
-let mutates : Api.kind -> bool = function
-  | Api.Write | Api.Cas | Api.Fas | Api.Faa -> true
-  | Api.Read | Api.Spin | Api.Note | Api.Nop -> false
 
 let wake_parked eng (c : Cell.t) =
   if Hashtbl.mem eng.parked_cells c.id then begin
@@ -509,6 +558,24 @@ let wake_parked eng (c : Cell.t) =
     done;
     if not !still_parked then Hashtbl.remove eng.parked_cells c.id
   end
+
+(* Wake waiters after a mutating instruction.  Direct GADT dispatch instead
+   of [cell_of_view]/[mutates]: the option box would be one allocation per
+   instruction.  [V_fas_persist] wakes on its primary cell only, matching
+   the [cell_of_view]-based behaviour this replaces. *)
+let wake_after : type a. t -> a Api.view -> unit =
+ fun eng view ->
+  match view with
+  | Api.V_write (c, _) -> wake_parked eng c
+  | Api.V_cas (c, _, _) -> wake_parked eng c
+  | Api.V_fas (c, _) -> wake_parked eng c
+  | Api.V_fas_open_unsafe (_, c, _) -> wake_parked eng c
+  | Api.V_write_close_unsafe (_, c, _) -> wake_parked eng c
+  | Api.V_fas_persist (c, _, _) -> wake_parked eng c
+  | Api.V_faa (c, _) -> wake_parked eng c
+  | Api.V_read _ | Api.V_spin _ | Api.V_spin_abortable _ | Api.V_note _ | Api.V_get_done
+  | Api.V_get_step | Api.V_poll_abort | Api.V_yield ->
+      ()
 
 (* Record an *applied* instruction together with the cell contents after it
    (for reads, the value read) — the data the replay checker feeds on. *)
@@ -535,16 +602,17 @@ let record_op : type a. t -> int -> a Api.view -> unit =
   end
 
 let do_crash eng pid (kont : (unit -> unit) option) =
-  record_event eng
-    (Event.Crash
-       {
-         step = eng.step;
-         pid;
-         super = eng.completed.(pid);
-         unsafe_wrt = eng.unsafe_open.(pid);
-         holding = eng.holding.(pid);
-         in_passage = eng.in_passage.(pid);
-       });
+  if eng.emit then
+    record_event eng
+      (Event.Crash
+         {
+           step = eng.step;
+           pid;
+           super = eng.completed.(pid);
+           unsafe_wrt = eng.unsafe_open.(pid);
+           holding = eng.holding.(pid);
+           in_passage = eng.in_passage.(pid);
+         });
   eng.crashes.(pid) <- eng.crashes.(pid) + 1;
   List.iter
     (fun lock -> eng.unsafe_crashes.(lock) <- eng.unsafe_crashes.(lock) + 1)
@@ -591,7 +659,7 @@ let crash_now eng pid =
    persists and every live body restarts through its recovery section.
    Processes that already satisfied all their requests stay [Halted]. *)
 let system_crash_now eng =
-  record_event eng (Event.Sys_crash { step = eng.step });
+  if eng.emit then record_event eng (Event.Sys_crash { step = eng.step });
   eng.system_crashes <- eng.system_crashes + 1;
   for pid = 0 to eng.n - 1 do
     crash_now eng pid
@@ -629,44 +697,57 @@ let exec eng pid (st : status) =
   match st with
   | Stopped -> assert false
   | Suspended (view, k) -> (
-      let info = op_info eng pid view in
-      (* The abort consult precedes the crash consult, so a signal fired on
-         an op the crash plan then suppresses still counts as delivered —
-         and [replay_plan] winds both plans in the same order. *)
-      if eng.has_abort && Abort.on_op eng.abort info then
-        signal_abort eng ~origin:info.Crash.op_index pid;
-      match Crash.on_op eng.crash info with
+      let decision =
+        if eng.consult_ops then begin
+          let info = op_info eng pid view in
+          (* The abort consult precedes the crash consult, so a signal fired
+             on an op the crash plan then suppresses still counts as
+             delivered — and [replay_plan] winds both plans in the same
+             order. *)
+          if eng.has_abort && Abort.on_op eng.abort info then
+            signal_abort eng ~origin:info.Crash.op_index pid;
+          Crash.on_op eng.crash info
+        end
+        else begin
+          (* Fast path: no plan and no hook reads the [op_info], so only the
+             per-process op counter (part of the state key) advances. *)
+          eng.op_index.(pid) <- eng.op_index.(pid) + 1;
+          Crash.No_crash
+        end
+      in
+      match decision with
       | Crash Before -> do_crash eng pid (Some (discontinue_of k))
       | (No_crash | Crash After) as decision -> (
+          let crash_after =
+            match decision with Crash.Crash _ -> true | Crash.No_crash -> false
+          in
           match view with
           | Api.V_spin (cell, cond) ->
-              let v, rmr = Memory.read eng.mem ~pid cell in
-              charge ~kind:Api.Spin eng pid rmr;
+              let v = Memory.read_u eng.mem ~pid cell in
+              charge eng pid ~kind:Api.Spin (Memory.last_cost eng.mem);
               record_op eng pid view;
-              if decision = Crash After then do_crash eng pid (Some (discontinue_of k))
+              if crash_after then do_crash eng pid (Some (discontinue_of k))
               else if Api.cond_holds cond v then begin
                 jpush eng (jt_ans_unit lor (pid lsl 3)) 0;
                 absorb eng pid (Effect.Deep.continue k ())
               end
               else park eng pid { pk = k; pcell = cell; pcond = cond; pabort = false }
           | Api.V_spin_abortable (cell, cond) ->
-              let v, rmr = Memory.read eng.mem ~pid cell in
-              charge ~kind:Api.Spin eng pid rmr;
+              let v = Memory.read_u eng.mem ~pid cell in
+              charge eng pid ~kind:Api.Spin (Memory.last_cost eng.mem);
               record_op eng pid view;
-              if decision = Crash After then do_crash eng pid (Some (discontinue_of k))
+              if crash_after then do_crash eng pid (Some (discontinue_of k))
               else if Api.cond_holds cond v || eng.ab_flag.(pid) then begin
                 jpush eng (jt_ans_unit lor (pid lsl 3)) 0;
                 absorb eng pid (Effect.Deep.continue k ())
               end
               else park eng pid { pk = k; pcell = cell; pcond = cond; pabort = true }
           | _ ->
-              let res, rmr = apply_view eng pid view in
-              charge ~kind:(Api.kind_of_view view) eng pid rmr;
+              let res = apply_view eng pid view in
+              charge eng pid ~kind:(Api.kind_of_view view) eng.last_rmr;
               record_op eng pid view;
-              (match Api.cell_of_view view with
-              | Some c when mutates (Api.kind_of_view view) -> wake_parked eng c
-              | Some _ | None -> ());
-              if decision = Crash After then do_crash eng pid (Some (discontinue_of k))
+              wake_after eng view;
+              if crash_after then do_crash eng pid (Some (discontinue_of k))
               else begin
                 jpush eng (ans_tag view lor (pid lsl 3)) (ans_value view res);
                 absorb eng pid (Effect.Deep.continue k res)
@@ -683,8 +764,8 @@ let step_process eng pid =
       absorb eng pid (Effect.Deep.match_with (fun () -> body ~pid) () handler)
   | Ready st -> exec eng pid st
   | Woken p ->
-      let v, rmr = Memory.read eng.mem ~pid p.pcell in
-      charge ~kind:Api.Spin eng pid rmr;
+      let v = Memory.read_u eng.mem ~pid p.pcell in
+      charge eng pid ~kind:Api.Spin (Memory.last_cost eng.mem);
       if Api.cond_holds p.pcond v || (p.pabort && eng.ab_flag.(pid)) then begin
         jpush eng (jt_ans_unit lor (pid lsl 3)) 0;
         absorb eng pid (Effect.Deep.continue p.pk ())
@@ -789,14 +870,40 @@ let state_key eng =
   key.((3 * n) + nlocks + 3) <- eng.global_cs_max;
   key
 
+(* Build the ready set (ascending pids) into a per-count scratch buffer.
+   The result is valid until the next [runnable] call on this engine —
+   callers (the run loops) consume it before stepping again, and the in-repo
+   schedulers copy it when they need to retain it.  Scratch arrays must be
+   exactly [count] long because [Sched.pick] reads [Array.length runnable]. *)
 let runnable eng =
-  let out = ref [] in
-  for pid = eng.n - 1 downto 0 do
+  let count = ref 0 in
+  for pid = 0 to eng.n - 1 do
     match eng.states.(pid) with
-    | Start | Ready _ | Woken _ -> out := pid :: !out
+    | Start | Ready _ | Woken _ -> incr count
     | Parked _ | Halted -> ()
   done;
-  Array.of_list !out
+  let c = !count in
+  if c = 0 then [||]
+  else begin
+    let buf =
+      let b = eng.ready_bufs.(c) in
+      if Array.length b = c then b
+      else begin
+        let b = Array.make c 0 in
+        eng.ready_bufs.(c) <- b;
+        b
+      end
+    in
+    let i = ref 0 in
+    for pid = 0 to eng.n - 1 do
+      match eng.states.(pid) with
+      | Start | Ready _ | Woken _ ->
+          Array.unsafe_set buf !i pid;
+          incr i
+      | Parked _ | Halted -> ()
+    done;
+    buf
+  end
 
 (* Where is [pid] right now, for the watchdog's culprit report. *)
 let segment eng pid =
@@ -893,7 +1000,7 @@ let finish eng =
     timed_out = eng.timed_out;
     stall = classify_stall eng;
     aborts = Vec.to_list eng.ab_stats @ !pending_aborts;
-    events = Vec.to_list eng.events;
+    events = Event.Sink.events eng.sink;
   }
 
 (* Domain-safety audit (parallel explorer): [run] is re-entrant.  Every
@@ -915,8 +1022,8 @@ let make_abort_view eng =
     streak = (fun pid -> eng.ab_streak.(pid));
   }
 
-let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_window
-    ?(on_crash = fun ~pid:_ ~step:_ -> ()) ?(on_op = fun _ -> ()) ?footprints
+let run ?(mode = `Auto) ?sink ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000)
+    ?stall_window ?(on_crash = default_on_crash) ?(on_op = default_on_op) ?footprints
     ?(footprint_crashy = fun _ -> false) ?(state_key_at = -1) ?(on_state_key = fun _ -> ())
     ?(abort = Abort.none) ~n ~model ~sched ~crash ~setup ~body () =
   let stall_window =
@@ -924,6 +1031,33 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_w
   in
   if footprints <> None && n > 0xffff then
     invalid_arg "Engine.run: footprint recording supports at most 65536 processes";
+  let sink =
+    match sink with
+    | Some s -> s
+    | None -> if record || trace_ops then Event.Sink.keep () else Event.Sink.drop
+  in
+  let emit = Event.Sink.wants sink in
+  let has_crash = crash != Crash.none in
+  let has_abort = abort != Abort.none in
+  (* Per-feature instrumentation guards.  [`Auto] derives them from what the
+     caller actually supplied; [`Full] forces the instrumented code paths on
+     (for differential benchmarking — results are identical either way);
+     [`Fast] asserts that nothing requires instrumentation, catching configs
+     that would silently fall off the fast path. *)
+  let consult_ops, track_ans =
+    match mode with
+    | `Auto -> (has_crash || has_abort || on_op != default_on_op, state_key_at >= 0)
+    | `Full -> (true, true)
+    | `Fast ->
+        if
+          has_crash || has_abort || emit || trace_ops || footprints <> None
+          || state_key_at >= 0 || on_op != default_on_op || on_crash != default_on_crash
+        then
+          invalid_arg
+            "Engine.run: ~mode:`Fast requires a crash-free, abort-free, uninstrumented \
+             configuration (no sink, no hooks, no footprints, no state key)";
+        (false, false)
+  in
   let mem = Memory.create model ~n in
   let ctx = { Ctx.mem; lock_names = Vec.create () } in
   let shared = setup ctx in
@@ -935,9 +1069,13 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_w
       sched;
       crash;
       abort;
-      has_abort = abort != Abort.none;
+      has_abort;
       abort_view = Abort.blind_view ~n;
-      record = record || trace_ops;
+      has_crash;
+      sink;
+      emit;
+      consult_ops;
+      track_ans;
       trace_ops;
       max_steps;
       stall_window;
@@ -979,7 +1117,9 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_w
       unsafe_crashes = Array.make nlocks 0;
       lock_names = Vec.to_array ctx.lock_names;
       parked_cells = Hashtbl.create 64;
-      events = Vec.create ();
+      events = (match Event.Sink.buffer sink with Some v -> v | None -> Vec.create ());
+      ready_bufs = Array.make (n + 1) [||];
+      last_rmr = 0;
       rmr_by_kind = Array.make 8 0;
       total_rmr = 0;
       system_crashes = 0;
@@ -991,13 +1131,17 @@ let run ?(record = false) ?(trace_ops = false) ?(max_steps = 5_000_000) ?stall_w
   in
   if eng.has_abort then eng.abort_view <- make_abort_view eng;
   let dpos = ref 0 in
+  (* Hoisted once: partially applying these in the loop would allocate a
+     closure per step. *)
+  let crash_iter = if eng.has_crash then crash_now eng else ignore in
+  let abort_iter = if eng.has_abort then signal_abort eng ~origin:(-1) else ignore in
   let rec loop () =
-    List.iter (crash_now eng) (Crash.async eng.crash ~step:eng.step);
-    if Crash.system eng.crash ~step:eng.step then system_crash_now eng;
+    if eng.has_crash then begin
+      List.iter crash_iter (Crash.async eng.crash ~step:eng.step);
+      if Crash.system eng.crash ~step:eng.step then system_crash_now eng
+    end;
     if eng.has_abort then
-      List.iter
-        (signal_abort eng ~origin:(-1))
-        (Abort.async eng.abort ~step:eng.step eng.abort_view);
+      List.iter abort_iter (Abort.async eng.abort ~step:eng.step eng.abort_view);
     let ready = runnable eng in
     if Array.length ready = 0 then begin
       let any_parked =
@@ -1332,6 +1476,7 @@ let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(recor
   let journal = { jents = Vec.create (); jops = Vec.create () } in
   let degrees = Vec.create () in
   let footprints = if por then Some (Vec.create ()) else None in
+  let sink = if record then Event.Sink.keep () else Event.Sink.drop in
   let eng =
     {
       mem;
@@ -1341,7 +1486,11 @@ let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(recor
       abort = plan_abort;
       has_abort = plan_abort != Abort.none;
       abort_view = Abort.blind_view ~n;
-      record;
+      has_crash = plan != Crash.none;
+      sink;
+      emit = Event.Sink.wants sink;
+      consult_ops = plan != Crash.none || plan_abort != Abort.none;
+      track_ans = true (* the journal is the whole point of this entry *);
       trace_ops = false;
       max_steps;
       stall_window;
@@ -1383,7 +1532,9 @@ let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(recor
       unsafe_crashes = Array.make nlocks 0;
       lock_names = Vec.to_array ctx.lock_names;
       parked_cells = Hashtbl.create 64;
-      events = Vec.create ();
+      events = (match Event.Sink.buffer sink with Some v -> v | None -> Vec.create ());
+      ready_bufs = Array.make (n + 1) [||];
+      last_rmr = 0;
       rmr_by_kind = Array.make 8 0;
       total_rmr = 0;
       system_crashes = 0;
@@ -1413,7 +1564,7 @@ let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(recor
         (match (footprints, s.Snap.s_fps) with
         | Some dst, Some src -> Vec.blit_prefix src s.Snap.s_fplen dst
         | _ -> ());
-        if eng.record then Vec.blit_prefix s.Snap.s_events s.Snap.s_evlen eng.events;
+        if record then Vec.blit_prefix s.Snap.s_events s.Snap.s_evlen eng.events;
         (* Rebuild the answer-stream digests from the seeded journal prefix
            — the same folds [jpush] would have performed live. *)
         let i = ref 0 in
@@ -1439,17 +1590,19 @@ let run_resumable ?from ?(snap_gap = 0) ?(snap = fun (_ : Snap.t) -> ()) ?(recor
      pushes; resuming re-enters the loop at the pick of the same
      iteration, so the first resumed iteration skips both. *)
   if eng.has_abort then eng.abort_view <- make_abort_view eng;
+  let crash_iter = if eng.has_crash then crash_now eng else ignore in
+  let abort_iter = if eng.has_abort then signal_abort eng ~origin:(-1) else ignore in
   let first = ref resumed in
   let rec loop () =
     let skip = !first in
     first := false;
     if not skip then begin
-      List.iter (crash_now eng) (Crash.async plan ~step:eng.step);
-      if Crash.system plan ~step:eng.step then system_crash_now eng;
+      if eng.has_crash then begin
+        List.iter crash_iter (Crash.async plan ~step:eng.step);
+        if Crash.system plan ~step:eng.step then system_crash_now eng
+      end;
       if eng.has_abort then
-        List.iter
-          (signal_abort eng ~origin:(-1))
-          (Abort.async plan_abort ~step:eng.step eng.abort_view)
+        List.iter abort_iter (Abort.async plan_abort ~step:eng.step eng.abort_view)
     end;
     let ready = runnable eng in
     if Array.length ready = 0 then begin

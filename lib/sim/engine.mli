@@ -120,12 +120,17 @@ type result = {
       (** one record per delivered abort signal, resolved records in
           resolution order followed by the still-pending ones; [[]] unless
           an {!Abort.t} plan was supplied *)
-  events : Event.t list;  (** [[]] unless [record] *)
+  events : Event.t list;
+      (** what the event sink retained: the full history under [record] (a
+          [Keep] sink), the trailing window under a [Ring] sink, [[]] under
+          the default dropping sink or a [Callback] sink *)
 }
 
 val pp_stall : stall Fmt.t
 
 val run :
+  ?mode:[ `Auto | `Fast | `Full ] ->
+  ?sink:Event.Sink.t ->
   ?record:bool ->
   ?trace_ops:bool ->
   ?max_steps:int ->
@@ -151,6 +156,28 @@ val run :
     detected (every live process parked), or [max_steps] (default 5e6)
     elapses.  [record] keeps the event history; [trace_ops] additionally
     records every instruction (expensive — tests only).
+
+    [sink] routes the event stream explicitly and overrides [record]'s
+    default: {!Event.Sink.drop} (the default when neither [record] nor
+    [trace_ops] is set) skips event construction entirely — steady-state
+    passages then allocate (almost) no minor words — while
+    {!Event.Sink.keep} retains everything ([record]'s behaviour),
+    {!Event.Sink.ring} keeps a bounded trailing window for post-mortem
+    diagnosis of long runs, and {!Event.Sink.callback} streams events out.
+
+    [mode] selects the instrumentation contract:
+    - [`Auto] (default): each bookkeeping layer (per-instruction crash/abort
+      consults, answer-stream digests, event emission) runs only when the
+      supplied configuration needs it.  Results are byte-identical to
+      [`Full]'s.
+    - [`Fast]: asserts that {e nothing} requires instrumentation — raises
+      [Invalid_argument] when a crash or abort plan (other than the [none]
+      sentinels), a wanting sink, [trace_ops], [footprints], a state key or
+      an [on_op]/[on_crash] hook is supplied.  Use it in benchmarks to fail
+      loudly instead of silently falling off the fast path.
+    - [`Full]: forces the instrumented code paths on even when nothing
+      consumes their output — the differential baseline for measuring the
+      fast path's gain.
 
     [stall_window] is the watchdog's look-back horizon (in global steps)
     for the timeout diagnosis recorded in [result.stall]; default

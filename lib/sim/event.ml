@@ -74,3 +74,73 @@ let pid = function
   | Crash { pid; _ } -> pid
   | Sys_crash _ -> -1
   | Op { pid; _ } -> pid
+
+(* The engine's event sink: the policy deciding what happens to each event
+   the engine emits is fixed when the sink is built, so the hot loop pays a
+   single physical-equality test ([wants]) instead of an unconditional
+   record allocation + Vec push per event. *)
+module Sink = struct
+  type event = t
+
+  type t =
+    | Drop
+    | Keep of event Vec.t
+    | Ring of { buf : event array; mutable pos : int; mutable total : int }
+    | Callback of { f : event -> unit; mutable delivered : int }
+
+  (* Shared constant: Drop carries no state, so one value serves every
+     engine in every domain. *)
+  let drop = Drop
+
+  let keep () = Keep (Vec.create ())
+
+  (* The ring stores the last [capacity] events; slots start as a dummy
+     that is never read (only indices below [min total capacity] are). *)
+  let ring ~capacity =
+    if capacity <= 0 then invalid_arg "Event.Sink.ring: capacity must be positive";
+    Ring { buf = Array.make capacity (Sys_crash { step = -1 }); pos = 0; total = 0 }
+
+  let callback f = Callback { f; delivered = 0 }
+
+  let wants = function Drop -> false | Keep _ | Ring _ | Callback _ -> true
+
+  let emit t ev =
+    match t with
+    | Drop -> ()
+    | Keep v -> Vec.push v ev
+    | Ring r ->
+        r.buf.(r.pos) <- ev;
+        r.pos <- (r.pos + 1) mod Array.length r.buf;
+        r.total <- r.total + 1
+    | Callback c ->
+        c.delivered <- c.delivered + 1;
+        c.f ev
+
+  let emitted = function
+    | Drop -> 0
+    | Keep v -> Vec.length v
+    | Ring r -> r.total
+    | Callback c -> c.delivered
+
+  let events = function
+    | Drop | Callback _ -> []
+    | Keep v -> Vec.to_list v
+    | Ring r ->
+        let cap = Array.length r.buf in
+        let len = min r.total cap in
+        (* Oldest retained event first: it sits at [pos] once the ring has
+           wrapped, at 0 before. *)
+        let start = if r.total <= cap then 0 else r.pos in
+        List.init len (fun i -> r.buf.((start + i) mod cap))
+
+  let clear = function
+    | Drop -> ()
+    | Keep v -> Vec.clear v
+    | Ring r ->
+        r.pos <- 0;
+        r.total <- 0
+    | Callback c -> c.delivered <- 0
+
+  (* Internal (engine checkpointing): the Keep policy's backing buffer. *)
+  let buffer = function Keep v -> Some v | Drop | Ring _ | Callback _ -> None
+end

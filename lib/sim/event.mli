@@ -62,3 +62,55 @@ val step : t -> int
 
 val pid : t -> int
 (** [-1] for {!Sys_crash}: a system crash belongs to no single process. *)
+
+(** Compile-once event sinks.
+
+    The engine emits every history event into a sink whose policy is fixed
+    at construction: the hot loop asks {!Sink.wants} once per run and skips
+    event {e construction} entirely for a {!Sink.drop} sink, so an
+    uninstrumented passage allocates no event records at all.  [Keep]
+    preserves the full history (the pre-existing [record:true] behaviour),
+    [Ring] the last [capacity] events (bounded-memory flight recorder for
+    long service runs), [Callback] streams each event to a function without
+    retaining it. *)
+module Sink : sig
+  type event = t
+
+  type t
+
+  val drop : t
+  (** Discards every event.  A shared constant — carries no state, so the
+      same value may serve concurrent engines on separate domains. *)
+
+  val keep : unit -> t
+  (** Retains every event, in emission order. *)
+
+  val ring : capacity:int -> t
+  (** Retains the last [capacity] events.  {!emitted} still counts every
+      emission.  @raise Invalid_argument when [capacity <= 0]. *)
+
+  val callback : (event -> unit) -> t
+  (** Delivers each event to the function; retains nothing. *)
+
+  val wants : t -> bool
+  (** [false] iff the sink is {!drop} — the engine's gate for skipping
+      event construction. *)
+
+  val emit : t -> event -> unit
+
+  val emitted : t -> int
+  (** Events emitted into the sink ([Keep]: retained; [Ring]/[Callback]:
+      total ever delivered; [drop]: 0). *)
+
+  val events : t -> event list
+  (** The retained events in emission order.  [Keep]: all of them; [Ring]:
+      the last [<= capacity], oldest first; [drop]/[Callback]: [[]]. *)
+
+  val clear : t -> unit
+
+  (**/**)
+
+  val buffer : t -> event Vec.t option
+  (** Internal: the [Keep] policy's backing buffer, used by the engine's
+      checkpoint capture/restore.  [None] for every other policy. *)
+end

@@ -95,6 +95,9 @@ let of_view : type a. pid:int -> crashy:bool -> a Api.view -> t =
   | Api.V_spin_abortable (c, _) -> make ~pid ~crashy cls_write (code_cell c.Cell.id)
   | Api.V_note n -> of_note ~pid ~crashy n
   | Api.V_get_done -> make ~pid ~crashy cls_local code_none
+  (* Reads the global step counter — excluded from state keys and robust
+     checks like latencies, so local for reduction purposes. *)
+  | Api.V_get_step -> make ~pid ~crashy cls_local code_none
   (* Reads the engine's abort flag, which only abort decisions (covered by
      the Sensitive POR downgrade) and the process's own protocol move. *)
   | Api.V_poll_abort -> make ~pid ~crashy cls_local code_none

@@ -23,6 +23,10 @@ type t = {
   cached : int array option Vec.t;
   names : string Vec.t;
   homes : int Vec.t;
+  (* RMR cost of the last unboxed-variant operation ([read_u] etc.): the
+     engine's hot loop reads it back instead of allocating a result tuple
+     per instruction. *)
+  mutable last_cost : int;
 }
 
 let create model ~n =
@@ -35,6 +39,7 @@ let create model ~n =
     cached = Vec.create ();
     names = Vec.create ();
     homes = Vec.create ();
+    last_cost = 0;
   }
 
 let model t = t.model
@@ -82,19 +87,30 @@ let forget t ~pid =
       match Vec.get t.cached cell with Some r -> r.(pid) <- -1 | None -> ()
     done
 
-let read t ~pid (c : Cell.t) =
+(* Unboxed variants: same accounting as the tuple-returning API below, but
+   the cost lands in [last_cost] — the engine's per-instruction dispatch
+   reads it back without a tuple allocation.  The tuple API stays as thin
+   wrappers for tests and external callers. *)
+let read_u t ~pid (c : Cell.t) =
   check_pid t pid;
   let v = Vec.get t.contents c.id in
-  match t.model with
-  | DSM -> (v, dsm_cost c pid)
+  (match t.model with
+  | DSM -> t.last_cost <- dsm_cost c pid
   | CC ->
       let r = row t c in
       let ver = Vec.get t.version c.id in
-      if r.(pid) = ver then (v, 0)
+      if r.(pid) = ver then t.last_cost <- 0
       else begin
         r.(pid) <- ver;
-        (v, 1)
-      end
+        t.last_cost <- 1
+      end);
+  v
+
+let last_cost t = t.last_cost
+
+let read t ~pid (c : Cell.t) =
+  let v = read_u t ~pid c in
+  (v, t.last_cost)
 
 (* A mutation bumps the version (invalidating every cached copy) and leaves
    the writer's cache holding the fresh value. *)
@@ -111,25 +127,34 @@ let write t ~pid (c : Cell.t) v =
   mutate t ~pid c v;
   write_cost t ~pid c
 
-let cas t ~pid (c : Cell.t) ~expect ~value =
+let cas_u t ~pid (c : Cell.t) ~expect ~value =
   check_pid t pid;
   let old = Vec.get t.contents c.id in
-  let cost = write_cost t ~pid c in
+  t.last_cost <- write_cost t ~pid c;
   if old = expect then begin
     mutate t ~pid c value;
-    (true, cost)
+    true
   end
   else begin
     (* A failed CAS still fetched the line. *)
     if t.model = CC then (row t c).(pid) <- Vec.get t.version c.id;
-    (false, cost)
+    false
   end
 
-let fas t ~pid (c : Cell.t) v =
+let cas t ~pid (c : Cell.t) ~expect ~value =
+  let ok = cas_u t ~pid c ~expect ~value in
+  (ok, t.last_cost)
+
+let fas_u t ~pid (c : Cell.t) v =
   check_pid t pid;
   let old = Vec.get t.contents c.id in
   mutate t ~pid c v;
-  (old, write_cost t ~pid c)
+  t.last_cost <- write_cost t ~pid c;
+  old
+
+let fas t ~pid (c : Cell.t) v =
+  let old = fas_u t ~pid c v in
+  (old, t.last_cost)
 
 (* Point-in-time copy of the store for the engine's checkpoints: cell
    contents, write versions and the per-process cache validity rows.  The
@@ -188,8 +213,13 @@ let fingerprint t =
   done;
   !h
 
-let faa t ~pid (c : Cell.t) d =
+let faa_u t ~pid (c : Cell.t) d =
   check_pid t pid;
   let old = Vec.get t.contents c.id in
   mutate t ~pid c (old + d);
-  (old, write_cost t ~pid c)
+  t.last_cost <- write_cost t ~pid c;
+  old
+
+let faa t ~pid (c : Cell.t) d =
+  let old = faa_u t ~pid c d in
+  (old, t.last_cost)

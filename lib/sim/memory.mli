@@ -91,3 +91,22 @@ val fas : t -> pid:int -> Cell.t -> int -> int * int
 
 val faa : t -> pid:int -> Cell.t -> int -> int * int
 (** Fetch-and-add; returns the previous contents. *)
+
+(** {1 Unboxed accounted operations}
+
+    Same accounting as the tuple API above, but the result comes back bare
+    and the RMR cost is left in {!last_cost} — the engine's hot loop uses
+    these to avoid one tuple allocation per instruction.  [last_cost] is
+    scratch state, not part of {!snapshot}/{!fingerprint}; read it before
+    the next accounted operation overwrites it. *)
+
+val read_u : t -> pid:int -> Cell.t -> int
+
+val cas_u : t -> pid:int -> Cell.t -> expect:int -> value:int -> bool
+
+val fas_u : t -> pid:int -> Cell.t -> int -> int
+
+val faa_u : t -> pid:int -> Cell.t -> int -> int
+
+val last_cost : t -> int
+(** RMR cost of the most recent [*_u] operation. *)

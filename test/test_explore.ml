@@ -266,13 +266,13 @@ let test_parallel_clean_tree_identical () =
   let seq =
     run
       (Explore.explore ~max_runs:5_000 ?max_steps:None ?shrink_violations:None ?record:None
-         ?por:None ?statecache:None ?cache_capacity:None ?abort:None)
+         ?por:None ?statecache:None ?cache_capacity:None ?abort:None ?stats:None)
   in
   let par =
     run
       (Explore.explore_parallel ~max_runs:5_000 ~domains:4 ?max_steps:None ?split_depth:None
          ?snap_gap:None ?shrink_violations:None ?record:None ?por:None ?cache_capacity:None
-         ?abort:None)
+         ?abort:None ?stats:None)
   in
   check cb "exhausted" true seq.Explore.exhausted;
   check cb "identical outcomes" true (seq = par)

@@ -1,0 +1,399 @@
+(* Tests for the engine hot-path overhaul and its measurement plumbing:
+   Vec edge cases, event sinks (ring wrap-around, policy equivalence),
+   the Api.step clock, the `Fast/`Full differential contract, the
+   log-linear histogram, and the explorer's search-effort counters. *)
+
+open Rme_sim
+module Metrics = Rme_check.Metrics
+module Hist = Metrics.Hist
+
+let check = Alcotest.check
+
+let ci = Alcotest.int
+
+let cb = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Vec edge cases                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_blit_prefix_zero () =
+  let src = Vec.create () in
+  Vec.push src 1;
+  Vec.push src 2;
+  let dst = Vec.create () in
+  Vec.push dst 9;
+  Vec.blit_prefix src 0 dst;
+  check ci "length unchanged" 1 (Vec.length dst);
+  check ci "contents unchanged" 9 (Vec.get dst 0);
+  (* Zero-length blit from an empty source is a no-op, not an error. *)
+  Vec.blit_prefix (Vec.create ()) 0 dst;
+  check ci "still unchanged" 1 (Vec.length dst)
+
+let test_vec_blit_prefix_bounds () =
+  let src = Vec.create () in
+  Vec.push src 1;
+  let raised =
+    match Vec.blit_prefix src 2 (Vec.create ()) with
+    | exception Invalid_argument _ -> true
+    | () -> false
+  in
+  check cb "len beyond source rejected" true raised
+
+let test_vec_push_through_growth () =
+  (* Push across several doubling boundaries and verify every element
+     lands where it should, including the pushes at exact capacity. *)
+  let v = Vec.create () in
+  for i = 0 to 1000 do
+    Vec.push v i;
+    check ci "length tracks pushes" (i + 1) (Vec.length v);
+    check ci "last is the push" i (Vec.last v)
+  done;
+  for i = 0 to 1000 do
+    check ci "element survived growth" i (Vec.get v i)
+  done
+
+let test_vec_unsafe_get_after_resize () =
+  let v = Vec.create () in
+  for i = 0 to 300 do
+    Vec.push v (i * 7)
+  done;
+  (* unsafe_get must agree with get on every valid index even after the
+     backing array has been reallocated several times. *)
+  for i = 0 to 300 do
+    check ci "unsafe_get = get" (Vec.get v i) (Vec.unsafe_get v i)
+  done;
+  Vec.clear v;
+  check ci "clear empties" 0 (Vec.length v);
+  Vec.push v 42;
+  check ci "push after clear" 42 (Vec.get v 0)
+
+(* ------------------------------------------------------------------ *)
+(* Event sinks                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let note_at step = Event.Note { step; pid = 0; super = 0; note = Event.Seg Event.Req_begin }
+
+let test_sink_drop () =
+  let s = Event.Sink.drop in
+  check cb "drop wants nothing" false (Event.Sink.wants s);
+  Event.Sink.emit s (note_at 1);
+  check ci "nothing counted" 0 (Event.Sink.emitted s);
+  check cb "no events retained" true (Event.Sink.events s = [])
+
+let test_sink_ring_wraparound () =
+  let s = Event.Sink.ring ~capacity:4 in
+  check cb "ring wants events" true (Event.Sink.wants s);
+  for i = 1 to 10 do
+    Event.Sink.emit s (note_at i)
+  done;
+  check ci "all emissions counted" 10 (Event.Sink.emitted s);
+  let steps = List.map Event.step (Event.Sink.events s) in
+  check cb "trailing window in order" true (steps = [ 7; 8; 9; 10 ]);
+  Event.Sink.clear s;
+  check ci "clear resets" 0 (Event.Sink.emitted s);
+  check cb "clear empties" true (Event.Sink.events s = []);
+  (* Partial fill: no wrap yet, events come back in emission order. *)
+  Event.Sink.emit s (note_at 1);
+  Event.Sink.emit s (note_at 2);
+  check cb "partial window" true (List.map Event.step (Event.Sink.events s) = [ 1; 2 ])
+
+let test_sink_callback_streams () =
+  let got = ref [] in
+  let s = Event.Sink.callback (fun ev -> got := Event.step ev :: !got) in
+  for i = 1 to 5 do
+    Event.Sink.emit s (note_at i)
+  done;
+  check cb "delivered in order" true (List.rev !got = [ 1; 2; 3; 4; 5 ]);
+  check ci "emitted counts" 5 (Event.Sink.emitted s);
+  check cb "nothing retained" true (Event.Sink.events s = [])
+
+(* ------------------------------------------------------------------ *)
+(* Engine: sink policies and the fast-path differential                 *)
+(* ------------------------------------------------------------------ *)
+
+let lock_workload ?mode ?sink ?record () =
+  let body lock ~pid = Harness.standard_body ~lock ~requests:3 pid in
+  Engine.run ?mode ?sink ?record ~n:3 ~model:Memory.CC
+    ~sched:(Sched.random ~seed:42)
+    ~crash:Crash.none ~setup:Rme_locks.Wr_lock.make ~body ()
+
+let test_keep_vs_drop_equivalence () =
+  (* The sink policy must never change what happens — only what is
+     retained.  Same schedule, all result fields equal except [events]. *)
+  let kept = lock_workload ~sink:(Event.Sink.keep ()) () in
+  let dropped = lock_workload ~sink:Event.Sink.drop () in
+  check cb "keep retains history" true (kept.Engine.events <> []);
+  check cb "drop retains nothing" true (dropped.Engine.events = []);
+  check cb "all other fields equal" true
+    ({ kept with Engine.events = [] } = dropped)
+
+let test_ring_is_keep_suffix () =
+  let kept = lock_workload ~sink:(Event.Sink.keep ()) () in
+  let ring = Event.Sink.ring ~capacity:8 in
+  let ringed = lock_workload ~sink:ring () in
+  let suffix l n =
+    let len = List.length l in
+    List.filteri (fun i _ -> i >= len - n) l
+  in
+  check cb "ring = trailing window of keep" true
+    (ringed.Engine.events = suffix kept.Engine.events 8);
+  check cb "same results otherwise" true
+    ({ kept with Engine.events = [] } = { ringed with Engine.events = [] })
+
+let test_fast_full_differential () =
+  (* The tentpole contract: `Fast elides bookkeeping, never semantics.
+     Every field of the result — steps, RMRs by kind, per-process
+     passages with their latencies, lock stats, cs_max — must be
+     byte-identical across `Fast, `Auto and `Full on the same schedule. *)
+  let fast = lock_workload ~mode:`Fast () in
+  let auto = lock_workload ~mode:`Auto () in
+  let full = lock_workload ~mode:`Full () in
+  check cb "fast = auto" true (fast = auto);
+  check cb "fast = full" true (fast = full);
+  check cb "work happened" true (fast.Engine.steps > 0 && fast.Engine.total_rmr > 0)
+
+let test_fast_rejects_instrumented_configs () =
+  let crashy () =
+    ignore
+      (Engine.run ~mode:`Fast ~n:2 ~model:Memory.CC
+         ~sched:(Sched.round_robin ())
+         ~crash:(Crash.random ~seed:0 ~rate:1.0 ~max_crashes:1 ())
+         ~setup:(fun ctx -> Memory.alloc (Engine.Ctx.memory ctx) ~name:"c" 0)
+         ~body:(fun c ~pid:_ -> Api.write c 1)
+         ())
+  in
+  let sinky () =
+    ignore
+      (Engine.run ~mode:`Fast
+         ~sink:(Event.Sink.keep ())
+         ~n:2 ~model:Memory.CC
+         ~sched:(Sched.round_robin ())
+         ~crash:Crash.none
+         ~setup:(fun ctx -> Memory.alloc (Engine.Ctx.memory ctx) ~name:"c" 0)
+         ~body:(fun c ~pid:_ -> Api.write c 1)
+         ())
+  in
+  let raises f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  check cb "crash plan rejected" true (raises crashy);
+  check cb "event sink rejected" true (raises sinky)
+
+let test_api_step_monotone () =
+  (* Api.step is the global simulated clock: non-decreasing within a
+     process, strictly increasing across its own observations (each
+     observation is itself a step), and consistent with the final
+     result. *)
+  let seen = ref [] in
+  let res =
+    Engine.run ~n:2 ~model:Memory.CC
+      ~sched:(Sched.random ~seed:7)
+      ~crash:Crash.none
+      ~setup:(fun ctx -> Memory.alloc (Engine.Ctx.memory ctx) ~name:"c" 0)
+      ~body:(fun c ~pid ->
+        for _ = 1 to 5 do
+          let s = Api.step () in
+          if pid = 0 then seen := s :: !seen;
+          Api.write c s;
+          Api.yield ()
+        done)
+      ()
+  in
+  let obs = List.rev !seen in
+  check cb "observed some steps" true (List.length obs = 5);
+  check cb "strictly increasing" true
+    (List.for_all2 (fun a b -> a < b) (List.filteri (fun i _ -> i < 4) obs) (List.tl obs));
+  check cb "bounded by the run" true (List.for_all (fun s -> s <= res.Engine.steps) obs)
+
+let test_open_loop_pacing () =
+  (* The service harness's pacing idiom: a client polling the clock wakes
+     at-or-after its due step, never before. *)
+  let due = 40 in
+  let woke = ref (-1) in
+  ignore
+    (Engine.run ~n:2 ~model:Memory.CC
+       ~sched:(Sched.round_robin ())
+       ~crash:Crash.none
+       ~setup:(fun ctx -> Memory.alloc (Engine.Ctx.memory ctx) ~name:"c" 0)
+       ~body:(fun c ~pid ->
+         if pid = 0 then begin
+           while Api.step () < due do
+             Api.yield ()
+           done;
+           woke := Api.step ();
+           Api.write c 1
+         end
+         else for _ = 1 to 30 do Api.yield () done)
+       ());
+  check cb "woke at or after due" true (!woke >= due)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics.Hist                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_exact_small_values () =
+  let h = Hist.create () in
+  for v = 0 to 255 do
+    Hist.add h v
+  done;
+  check ci "count" 256 (Hist.count h);
+  check ci "min" 0 (Hist.min h);
+  check ci "max" 255 (Hist.max h);
+  (* Below 256 every value has its own bucket: quantiles are exact —
+     rank ceil(0.5 * 256) = 128, whose sample is the value 127. *)
+  check ci "p50" 127 (Hist.percentile h 0.5);
+  check ci "p100" 255 (Hist.percentile h 1.0);
+  check ci "p0+" 0 (Hist.percentile h 0.0)
+
+let test_hist_relative_error () =
+  let h = Hist.create () in
+  let vals = List.init 1000 (fun i -> 1000 + (i * 997)) in
+  List.iter (Hist.add h) vals;
+  let sorted = Array.of_list (List.sort compare vals) in
+  List.iter
+    (fun q ->
+      let rank = max 1 (int_of_float (ceil (q *. 1000.0))) in
+      let exact = sorted.(rank - 1) in
+      let approx = Hist.percentile h q in
+      let err = abs (approx - exact) in
+      check cb
+        (Printf.sprintf "p%g within 1%% (exact %d, got %d)" (q *. 100.0) exact approx)
+        true
+        (float_of_int err <= 0.01 *. float_of_int exact))
+    [ 0.5; 0.9; 0.99; 0.999; 1.0 ]
+
+let test_hist_merge () =
+  let a = Hist.create () and b = Hist.create () and all = Hist.create () in
+  for i = 1 to 500 do
+    Hist.add a (i * 3);
+    Hist.add all (i * 3)
+  done;
+  for i = 1 to 500 do
+    Hist.add b (i * 13);
+    Hist.add all (i * 13)
+  done;
+  Hist.merge_into ~into:a b;
+  check ci "count merged" (Hist.count all) (Hist.count a);
+  check ci "sum merged" (Hist.sum all) (Hist.sum a);
+  check ci "min merged" (Hist.min all) (Hist.min a);
+  check ci "max merged" (Hist.max all) (Hist.max a);
+  List.iter
+    (fun q ->
+      check ci
+        (Printf.sprintf "p%g equal" (q *. 100.0))
+        (Hist.percentile all q) (Hist.percentile a q))
+    [ 0.5; 0.9; 0.99; 1.0 ]
+
+let test_hist_misc () =
+  let h = Hist.create () in
+  check ci "empty percentile" 0 (Hist.percentile h 0.5);
+  check ci "empty max" 0 (Hist.max h);
+  Hist.add h (-5);
+  check ci "negative clamps to 0" 0 (Hist.max h);
+  Hist.add h 1_000_000_000;
+  check ci "count" 2 (Hist.count h);
+  check ci "huge value exact max" 1_000_000_000 (Hist.max h);
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 (Hist.nonzero h) in
+  check ci "nonzero covers all samples" 2 total;
+  List.iter
+    (fun (lo, hi, _) -> check cb "bucket bounds ordered" true (lo <= hi))
+    (Hist.nonzero h);
+  Hist.clear h;
+  check ci "clear" 0 (Hist.count h)
+
+(* ------------------------------------------------------------------ *)
+(* Explorer search-effort counters                                     *)
+(* ------------------------------------------------------------------ *)
+
+let explore_subject ?stats ~por which =
+  let body c ~pid:_ =
+    if Api.completed_requests () < 1 then begin
+      Api.note (Event.Seg Event.Req_begin);
+      Api.write c 1;
+      Api.write c 2;
+      Api.note (Event.Seg Event.Req_done)
+    end
+  in
+  let setup ctx = Memory.alloc (Engine.Ctx.memory ctx) ~name:"c" 0 in
+  let check_fn (_ : Engine.result) = None in
+  match which with
+  | `Seq ->
+      Rme_check.Explore.explore ?stats ~por ~n:3 ~model:Memory.CC
+        ~crash:(fun () -> Crash.none)
+        ~setup ~body ~check:check_fn ()
+  | `Par ->
+      Rme_check.Explore.explore_parallel ?stats ~por ~domains:2 ~n:3 ~model:Memory.CC
+        ~crash:(fun () -> Crash.none)
+        ~setup ~body ~check:check_fn ()
+
+let test_explore_stats_sequential () =
+  let got = ref None in
+  let outcome = explore_subject ~stats:(fun s -> got := Some s) ~por:`Sleep `Seq in
+  match !got with
+  | None -> Alcotest.fail "stats callback never fired"
+  | Some s ->
+      check cb "counted at least one engine run per schedule" true
+        (s.Rme_check.Explore.engine_runs >= outcome.Rme_check.Explore.runs);
+      check cb "steps accumulated" true
+        (s.Rme_check.Explore.engine_steps > s.Rme_check.Explore.engine_runs);
+      check ci "no cache outside `Source" 0 s.Rme_check.Explore.cache_misses
+
+let test_explore_stats_source_cache () =
+  let got = ref None in
+  ignore (explore_subject ~stats:(fun s -> got := Some s) ~por:`Source `Seq);
+  match !got with
+  | None -> Alcotest.fail "stats callback never fired"
+  | Some s ->
+      check cb "state cache consulted" true (s.Rme_check.Explore.cache_misses > 0)
+
+let test_explore_stats_parallel () =
+  let got = ref None in
+  let outcome = explore_subject ~stats:(fun s -> got := Some s) ~por:`Sleep `Par in
+  match !got with
+  | None -> Alcotest.fail "stats callback never fired"
+  | Some s ->
+      check cb "parallel runs counted" true
+        (s.Rme_check.Explore.engine_runs >= outcome.Rme_check.Explore.runs);
+      check cb "parallel steps counted" true (s.Rme_check.Explore.engine_steps > 0)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "blit_prefix zero" `Quick test_vec_blit_prefix_zero;
+          Alcotest.test_case "blit_prefix bounds" `Quick test_vec_blit_prefix_bounds;
+          Alcotest.test_case "push through growth" `Quick test_vec_push_through_growth;
+          Alcotest.test_case "unsafe_get after resize" `Quick test_vec_unsafe_get_after_resize;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "drop" `Quick test_sink_drop;
+          Alcotest.test_case "ring wrap-around" `Quick test_sink_ring_wraparound;
+          Alcotest.test_case "callback streams" `Quick test_sink_callback_streams;
+          Alcotest.test_case "keep vs drop equivalence" `Quick test_keep_vs_drop_equivalence;
+          Alcotest.test_case "ring is keep's suffix" `Quick test_ring_is_keep_suffix;
+        ] );
+      ( "fast-path",
+        [
+          Alcotest.test_case "fast/auto/full differential" `Quick test_fast_full_differential;
+          Alcotest.test_case "fast rejects instrumentation" `Quick
+            test_fast_rejects_instrumented_configs;
+          Alcotest.test_case "api.step monotone" `Quick test_api_step_monotone;
+          Alcotest.test_case "open-loop pacing" `Quick test_open_loop_pacing;
+        ] );
+      ( "hist",
+        [
+          Alcotest.test_case "exact small values" `Quick test_hist_exact_small_values;
+          Alcotest.test_case "relative error" `Quick test_hist_relative_error;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+          Alcotest.test_case "edge cases" `Quick test_hist_misc;
+        ] );
+      ( "explore-stats",
+        [
+          Alcotest.test_case "sequential" `Quick test_explore_stats_sequential;
+          Alcotest.test_case "source cache" `Quick test_explore_stats_source_cache;
+          Alcotest.test_case "parallel" `Quick test_explore_stats_parallel;
+        ] );
+    ]
